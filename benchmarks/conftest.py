@@ -1,0 +1,29 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark regenerates one table or figure of the paper at the
+scale selected by ``REPRO_BENCH_SCALE`` (``quick`` by default, ``full``
+for the paper-shaped run) and prints the same rows the paper reports.
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+import pytest
+
+from repro.experiments.common import bench_scale
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return bench_scale()
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing.
+
+    The experiments are full table/figure regenerations (seconds to
+    minutes); statistical repetition across rounds is neither needed
+    nor affordable, so a single timed round is used.
+    """
+    return benchmark.pedantic(func, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1)

@@ -1,0 +1,22 @@
+"""Ablation — delayed-update FIFO size (paper section 2.1.3).
+
+Expected shape: the paper's prescription (FIFO size = IFQ size, here
+32) minimizes the gap between profiled and pipeline-observed
+misprediction rates; size 1 (= immediate update) underestimates.
+"""
+
+from conftest import run_once
+
+from repro.experiments import ablation_fifo_size
+
+
+def test_ablation_fifo_size(benchmark, scale):
+    rows = run_once(benchmark, ablation_fifo_size.run, scale,
+                    fifo_sizes=(1, 8, 32, 128))
+    print("\n" + ablation_fifo_size.format_rows(rows))
+
+    gaps = ablation_fifo_size.average_gaps(rows)
+    # The IFQ-sized FIFO is the best (or tied-best) of the swept sizes.
+    assert gaps[32] <= min(gaps.values()) + 0.25
+    # Immediate update (size 1) is clearly worse.
+    assert gaps[1] > gaps[32]

@@ -1,0 +1,34 @@
+"""Ablation — synthetic trace reduction factor R (paper section 2.2).
+
+Expected shape: increasing R shrinks the reduced graph (nodes and
+block mass) while the surviving hot mass stays interconnected ("the
+interconnection is still strong enough"); accuracy degrades gracefully
+rather than collapsing.
+"""
+
+from conftest import run_once
+
+from repro.experiments import ablation_reduction
+
+
+def test_ablation_reduction(benchmark, scale):
+    name = "parser" if "parser" in scale.benchmarks else \
+        scale.benchmarks[0]
+    # Cap R to the reference size: pushing R to where synthetic traces
+    # fall under ~1K instructions measures noise, not the trade-off.
+    factors = ((2.0, 4.0, 8.0) if scale.reference <= 30_000
+               else ablation_reduction.DEFAULT_FACTORS)
+    rows = run_once(benchmark, ablation_reduction.run, name, scale,
+                    factors=factors)
+    print("\n" + ablation_reduction.format_rows(rows))
+
+    # Larger R never keeps more nodes or more block mass.
+    for a, b in zip(rows, rows[1:]):
+        assert b["nodes_kept"] <= a["nodes_kept"]
+        assert b["mass_kept"] <= a["mass_kept"] + 1e-9
+    # The hot mass remains overwhelmingly in one connected component.
+    for row in rows:
+        assert row["largest_component_mass"] > 0.5
+    # Accuracy degrades gracefully: even the harshest reduction stays
+    # within a usable band.
+    assert rows[-1]["ipc_error"] < 0.5

@@ -1,0 +1,21 @@
+"""Ablation — workload-model structure spectrum (paper section 5).
+
+Expected shape: per-context modeling (the SFG) beats every
+structure-free model (independent characteristics, HLS, block-size
+correlation) by a wide margin on average.
+"""
+
+from conftest import run_once
+
+from repro.experiments import ablation_workload_models
+
+
+def test_ablation_workload_models(benchmark, scale):
+    rows = run_once(benchmark, ablation_workload_models.run, scale)
+    print("\n" + ablation_workload_models.format_rows(rows))
+
+    averages = ablation_workload_models.average_errors(rows)
+    for unstructured in ("independent", "hls", "size_correlated"):
+        assert averages["sfg_k1"] < averages[unstructured]
+    # The SFG's average error is in a usable range even at small scale.
+    assert averages["sfg_k1"] < 0.25

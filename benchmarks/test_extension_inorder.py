@@ -1,0 +1,24 @@
+"""Extension — WAW/WAR modeling for in-order / non-renaming machines
+(the future-work extension of paper section 2.1.1).
+
+Expected shape: on an in-order machine that enforces anti-dependencies,
+RAW-only synthesis overestimates performance; sampling the profiled
+WAW/WAR distributions restores accuracy.
+"""
+
+from conftest import run_once
+
+from repro.experiments import extension_inorder
+
+
+def test_extension_inorder(benchmark, scale):
+    rows = run_once(benchmark, extension_inorder.run, scale)
+    print("\n" + extension_inorder.format_rows(rows))
+
+    averages = extension_inorder.average_errors(rows)
+    # Modeling anti-dependencies improves average accuracy.
+    assert averages["with_anti"] < averages["raw_only"]
+    assert averages["with_anti"] < 0.15
+    # Renaming buys real performance: the in-order machine is slower.
+    for row in rows:
+        assert row["inorder_ipc"] < row["ooo_ipc"]

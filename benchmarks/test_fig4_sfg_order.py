@@ -1,0 +1,25 @@
+"""Figure 4 — IPC prediction error versus SFG order k (perfect caches
+and perfect branch prediction).
+
+Paper shape: k = 0 can be badly wrong (up to 35%); any k >= 1 is
+accurate (< 2% average), and k = 1 is as good as k = 2, 3.
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig4_sfg_order
+
+
+def test_fig4_sfg_order(benchmark, scale):
+    rows = run_once(benchmark, fig4_sfg_order.run, scale)
+    print("\n" + fig4_sfg_order.format_rows(rows))
+
+    averages = fig4_sfg_order.average_errors(rows)
+    # Control-flow correlation matters: k=0 is clearly worse on average.
+    assert averages[0] > 2.0 * averages[1]
+    # k >= 1 is accurate, and k = 1 is already enough (paper's choice).
+    assert averages[1] < 0.05
+    assert averages[1] < averages[0]
+    for k in (2, 3):
+        if k in averages:
+            assert abs(averages[k] - averages[1]) < 0.05

@@ -1,0 +1,26 @@
+"""Figure 5 — IPC accuracy with delayed- versus immediate-update branch
+profiling (perfect caches assumed).
+
+Paper shape: delayed-update profiling improves average accuracy, with
+the largest gains on the benchmarks with the biggest Figure 3 gaps.
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig5_delayed_update
+from repro.experiments.common import mean
+
+
+def test_fig5_delayed_update(benchmark, scale):
+    rows = run_once(benchmark, fig5_delayed_update.run, scale)
+    print("\n" + fig5_delayed_update.format_rows(rows))
+
+    immediate = mean([row["immediate_error"] for row in rows])
+    delayed = mean([row["delayed_error"] for row in rows])
+    # Modeling delayed update improves average accuracy.
+    assert delayed < immediate
+    # And at least one benchmark improves substantially (eon/perlbmk
+    # in the paper).
+    improvements = [row["immediate_error"] - row["delayed_error"]
+                    for row in rows]
+    assert max(improvements) > 0.05

@@ -1,0 +1,26 @@
+"""Figure 6 / section 4.2.3 — absolute IPC, EPC and EDP accuracy on the
+baseline configuration.
+
+Paper shape: statistical simulation predicts IPC within ~6.6% on
+average (worst case ~14%), EPC within ~4%, EDP within ~11%.
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig6_absolute
+
+
+def test_fig6_absolute_accuracy(benchmark, scale):
+    rows = run_once(benchmark, fig6_absolute.run, scale)
+    print("\n" + fig6_absolute.format_rows(rows))
+
+    averages = fig6_absolute.average_errors(rows)
+    # Average errors in the paper's ballpark (generous at small scale).
+    assert averages["ipc"] < 0.20
+    assert averages["epc"] < 0.10
+    # EPC is easier to predict than IPC (as in the paper: 4% vs 6.6%).
+    assert averages["epc"] < averages["ipc"]
+    # Per-benchmark IPC predictions stay in the right order of
+    # magnitude (the bars of Figure 6 track each other).
+    for row in rows:
+        assert row["ipc_error"] < 0.40

@@ -1,0 +1,25 @@
+"""Figure 7 — HLS versus SMART-HLS on SimpleScalar's default
+configuration.
+
+Paper shape: SMART-HLS (this paper's framework) is far more accurate
+than HLS (1.8% vs 10.1% average IPC error), because HLS models the
+workload without per-basic-block structure.
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig7_hls
+
+
+def test_fig7_hls_comparison(benchmark, scale):
+    rows = run_once(benchmark, fig7_hls.run, scale)
+    print("\n" + fig7_hls.format_rows(rows))
+
+    averages = fig7_hls.average_errors(rows)
+    # SMART-HLS is clearly more accurate on average.
+    assert averages["smart"] < averages["hls"]
+    assert averages["smart"] < 0.12
+    # And on (almost) every benchmark individually.
+    better = sum(1 for row in rows
+                 if row["smart_error"] <= row["hls_error"])
+    assert better >= len(rows) - 1

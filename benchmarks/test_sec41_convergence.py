@@ -1,0 +1,24 @@
+"""Section 4.1 — convergence: IPC coefficient of variation versus
+synthetic trace length.
+
+Paper shape: the CoV over synthesis seeds shrinks as synthetic traces
+grow (4% at 100K down to 1% at 1M synthetic instructions); statistical
+simulation converges quickly to steady-state estimates.
+"""
+
+from conftest import run_once
+
+from repro.experiments import sec41_convergence
+
+
+def test_sec41_convergence(benchmark, scale):
+    rows = run_once(benchmark, sec41_convergence.run, "gzip", scale,
+                    num_seeds=12)
+    print("\n" + sec41_convergence.format_rows(rows))
+
+    # Longer synthetic traces -> lower variation (compare extremes,
+    # which is robust to local noise at small scale).
+    shortest = rows[0]
+    longest = rows[-1]
+    assert longest["synthetic_length"] > shortest["synthetic_length"]
+    assert longest["cov"] < shortest["cov"]

@@ -1,0 +1,34 @@
+"""Section 4.6 — EDP design space exploration.
+
+Paper shape: exploring a window/width grid with statistical simulation
+identifies the true energy-delay-optimal design (7 of 10 benchmarks)
+or a design within ~1.25% of it.
+"""
+
+import os
+
+from conftest import run_once
+
+from repro.experiments import sec46_design_space
+
+
+def _grid_kwargs():
+    if os.environ.get("REPRO_BENCH_SCALE", "").lower() == "full":
+        return {}
+    return {
+        "ruu_sizes": (16, 64, 128),
+        "lsq_sizes": (8, 32),
+        "widths": (2, 8),
+    }
+
+
+def test_sec46_design_space(benchmark, scale):
+    benchmarks = scale.benchmarks[:3]
+    rows = run_once(benchmark, sec46_design_space.run_suite,
+                    benchmarks, scale, **_grid_kwargs())
+    print("\n" + sec46_design_space.format_rows(rows))
+
+    for row in rows:
+        # SS identifies the optimum or a design in a very short range
+        # of it (paper: worst case 1.24%; loosened for small scale).
+        assert row["found_optimal"] or row["edp_gap"] < 0.05

@@ -1,0 +1,25 @@
+"""§4.1 — simulation-speed claim.
+
+Expected shape: per design point, synthetic-trace simulation is
+several times faster than execution-driven simulation (tracking the
+reduction factor R), and the one-time profiling cost amortizes within
+a handful of design points.
+"""
+
+from conftest import run_once
+
+from repro.experiments import speedup
+from repro.experiments.common import mean
+
+
+def test_speedup(benchmark, scale):
+    rows = run_once(benchmark, speedup.run, scale)
+    print("\n" + speedup.format_rows(rows))
+
+    speedups = [row["per_point_speedup"] for row in rows]
+    # Per design point, SS is clearly faster than EDS; the mean
+    # speedup should be at least about half of R (the synthetic
+    # simulator also skips cache/predictor work).
+    assert mean(speedups) > scale.reduction_factor / 2
+    for row in rows:
+        assert row["breakeven_points"] < 50

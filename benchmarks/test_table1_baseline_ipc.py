@@ -1,0 +1,23 @@
+"""Table 1 — baseline IPC per benchmark.
+
+Paper values span 0.51 (crafty) to 1.94 (gzip); the reproduction
+asserts a comparable spread with the streaming compressors on top.
+"""
+
+from conftest import run_once
+
+from repro.experiments import table1_baseline
+
+
+def test_table1_baseline_ipc(benchmark, scale):
+    rows = run_once(benchmark, table1_baseline.run, scale)
+    print("\n" + table1_baseline.format_rows(rows))
+
+    ipcs = {row["benchmark"]: row["ipc"] for row in rows}
+    # A real spread across the suite (paper: ~3.8x between extremes).
+    assert max(ipcs.values()) / min(ipcs.values()) > 2.0
+    # The streaming compressor beats the branchy/memory-bound codes.
+    if "gzip" in ipcs and "twolf" in ipcs:
+        assert ipcs["gzip"] > ipcs["twolf"]
+    if "gzip" in ipcs and "parser" in ipcs:
+        assert ipcs["gzip"] > ipcs["parser"]

@@ -1,0 +1,25 @@
+"""Table 3 — number of SFG nodes as a function of the order k.
+
+Paper shape: node counts grow monotonically with k, and the
+per-benchmark ordering tracks code size (gcc largest, vpr smallest).
+"""
+
+from conftest import run_once
+
+from repro.experiments import table3_sfg_size
+
+
+def test_table3_sfg_size(benchmark, scale):
+    rows = run_once(benchmark, table3_sfg_size.run, scale)
+    print("\n" + table3_sfg_size.format_rows(rows))
+
+    counts = {row["benchmark"]: row["nodes"] for row in rows}
+    for nodes in counts.values():
+        orders = sorted(nodes)
+        for a, b in zip(orders, orders[1:]):
+            assert nodes[a] <= nodes[b]
+    # Large-code benchmarks have larger SFGs than small-code ones.
+    if "gcc" in counts and "gzip" in counts:
+        assert counts["gcc"][1] > counts["gzip"][1]
+    if "parser" in counts and "gzip" in counts:
+        assert counts["parser"][1] > counts["gzip"][1]

@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Characterizing a custom workload with a statistical flow graph.
+
+Defines a new workload from scratch (not one of the SPEC-named suite),
+executes it, and inspects its statistical profile: SFG size per order k,
+hottest control-flow contexts, dependency-distance spread and the
+microarchitecture-dependent branch/cache characteristics.
+
+Run:  python examples/custom_workload.py
+"""
+
+from repro import (
+    IClass,
+    WorkloadConfig,
+    baseline_config,
+    generate_program,
+    profile_trace,
+)
+from repro.frontend import run_program_with_warmup
+
+
+def main() -> None:
+    # A pointer-chasing, moderately branchy workload with a working set
+    # that blows through the L1 but fits in the L2.
+    workload = WorkloadConfig(
+        name="chaser",
+        seed=2024,
+        n_blocks=40,
+        mean_block_size=6,
+        working_set_kb=256,
+        stream_kinds={"chase": 0.6, "strided": 0.2, "hot": 0.2},
+        loop_fraction=0.3,
+        pattern_fraction=0.3,
+        indirect_fraction=0.05,
+        code_footprint_kb=12,
+        dependency_locality=0.5,
+    )
+    program = generate_program(workload)
+    warm, trace = run_program_with_warmup(program, warmup=20_000,
+                                          n_instructions=30_000)
+    config = baseline_config()
+
+    print(f"workload '{workload.name}': {program.num_blocks} blocks, "
+          f"{program.static_instruction_count} static instructions")
+    mix = trace.instruction_mix()
+    print("dynamic mix: " + ", ".join(
+        f"{iclass.name.lower()} {fraction * 100:.0f}%"
+        for iclass, fraction in sorted(mix.items(),
+                                       key=lambda kv: -kv[1])[:5]))
+
+    print("\nSFG size by order (paper Table 3 view):")
+    for order in (0, 1, 2, 3):
+        profile = profile_trace(trace, config, order=order,
+                                branch_mode="perfect",
+                                perfect_caches=True)
+        print(f"  k={order}: {profile.num_nodes} nodes")
+
+    profile = profile_trace(trace, config, order=1, warmup_trace=warm)
+    sfg = profile.sfg
+
+    print("\nhottest order-1 contexts (history -> block):")
+    hottest = sorted(sfg.contexts.items(),
+                     key=lambda kv: -kv[1].occurrences)[:5]
+    for context, stats in hottest:
+        share = stats.occurrences / sfg.total_block_executions
+        taken = stats.taken / stats.occurrences
+        print(f"  {context}: {stats.occurrences} executions "
+              f"({share * 100:.1f}%), block size {stats.block_size}, "
+              f"P(taken)={taken:.2f}")
+
+    # Aggregate dependency distances and locality events.
+    distances = {}
+    loads = misses = 0
+    for stats in sfg.contexts.values():
+        scale = stats.occurrences
+        for slot, iclass in enumerate(stats.iclasses):
+            if iclass is IClass.LOAD:
+                loads += scale
+                misses += stats.dl1[slot]
+            for hist in stats.dep_hists[slot]:
+                for distance, count in hist.items():
+                    distances[distance] = distances.get(distance, 0) \
+                        + count
+    total = sum(distances.values())
+    short = sum(c for d, c in distances.items() if d <= 8) / total
+    print(f"\ndependency distances: {total:,} recorded, "
+          f"{short * 100:.0f}% within 8 instructions "
+          f"(tight chains limit ILP)")
+    print(f"L1 D-cache miss rate of loads: {misses / loads * 100:.1f}% "
+          f"(annotated per context on the SFG)")
+
+
+if __name__ == "__main__":
+    main()

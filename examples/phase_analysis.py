@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Program phases, SimPoint and statistical simulation (paper §4.4).
+
+Compares three ways to estimate a long run's IPC without simulating all
+of it in detail:
+
+* one statistical profile of the whole stream,
+* per-sample statistical profiles (phase-aware),
+* SimPoint: cluster basic-block vectors, simulate representative
+  intervals in detail with functional warming.
+
+Run:  python examples/phase_analysis.py [benchmark]
+"""
+
+import sys
+
+from repro import (
+    baseline_config,
+    build_benchmark,
+    run_execution_driven,
+    run_statistical_simulation,
+)
+from repro.baselines import run_simpoint, select_simpoints
+from repro.frontend import run_program_with_warmup
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "eon"
+    config = baseline_config()
+    warm, trace = run_program_with_warmup(build_benchmark(name),
+                                          warmup=40_000,
+                                          n_instructions=60_000)
+    interval = 5_000
+
+    reference, _ = run_execution_driven(trace, config, warmup_trace=warm)
+    print(f"{name}: reference IPC {reference.ipc:.3f} over "
+          f"{len(trace):,} instructions\n")
+
+    selection = select_simpoints(trace, interval=interval, max_k=5,
+                                 seed=0)
+    print(f"SimPoint clustering: k = {selection.k} phases, "
+          f"representatives {selection.representatives} with weights "
+          f"{[round(w, 2) for w in selection.weights]}")
+    simpoint = run_simpoint(trace, config, interval=interval, max_k=5,
+                            seed=0, warmup_trace=warm)
+    simpoint_error = abs(simpoint["ipc"] - reference.ipc) / reference.ipc
+    print(f"SimPoint estimate: IPC {simpoint['ipc']:.3f} "
+          f"(error {simpoint_error * 100:.1f}%), "
+          f"{simpoint['simulated_instructions']:,} instructions "
+          f"simulated in detail\n")
+
+    report = run_statistical_simulation(trace, config, order=1,
+                                        reduction_factor=6, seed=0,
+                                        warmup_trace=warm)
+    ss_error = abs(report.ipc - reference.ipc) / reference.ipc
+    print(f"Statistical simulation: IPC {report.ipc:.3f} "
+          f"(error {ss_error * 100:.1f}%), synthetic trace of "
+          f"{len(report.synthetic_trace):,} instructions")
+
+    print("\nTrade-off (paper section 4.4): SimPoint tends to be more "
+          "accurate, but simulates far more instructions in detail and "
+          "re-simulates them for every cache/predictor change; "
+          "statistical simulation re-profiles instead and then sweeps "
+          "designs at synthetic-trace speed.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Quickstart: statistical simulation versus detailed simulation.
+
+Builds one synthetic SPEC-like workload, measures it with the detailed
+execution-driven simulator, then predicts the same machine's IPC/EPC
+from a synthetic trace that is several times shorter — the paper's core
+claim (Figure 1 pipeline, Figure 6 accuracy).
+
+Run:  python examples/quickstart.py [benchmark]
+"""
+
+import sys
+import time
+
+from repro import (
+    baseline_config,
+    build_benchmark,
+    run_execution_driven,
+    run_statistical_simulation,
+)
+from repro.frontend import run_program_with_warmup
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "gzip"
+    reduction_factor = 6
+
+    print(f"== {name}: building workload and executing it ==")
+    program = build_benchmark(name)
+    warm, trace = run_program_with_warmup(program, warmup=40_000,
+                                          n_instructions=60_000)
+    print(f"reference window: {len(trace):,} instructions "
+          f"({len(warm):,} warmup)")
+
+    config = baseline_config()
+
+    print("\n== execution-driven (reference) simulation ==")
+    started = time.perf_counter()
+    reference, ref_power = run_execution_driven(trace, config,
+                                                warmup_trace=warm)
+    eds_seconds = time.perf_counter() - started
+    print(f"IPC = {reference.ipc:.3f}   EPC = {ref_power.total:.1f} W  "
+          f"[{eds_seconds:.2f}s, {reference.cycles:,} cycles]")
+
+    print(f"\n== statistical simulation (R = {reduction_factor}) ==")
+    started = time.perf_counter()
+    report = run_statistical_simulation(trace, config, order=1,
+                                        reduction_factor=reduction_factor,
+                                        seed=0, warmup_trace=warm)
+    ss_seconds = time.perf_counter() - started
+    print(f"SFG nodes: {report.profile.num_nodes}   "
+          f"synthetic trace: {len(report.synthetic_trace):,} instructions")
+    print(f"IPC = {report.ipc:.3f}   EPC = {report.epc:.1f} W  "
+          f"[{ss_seconds:.2f}s including profiling]")
+
+    ipc_error = abs(report.ipc - reference.ipc) / reference.ipc
+    epc_error = abs(report.epc - ref_power.total) / ref_power.total
+    print(f"\nIPC prediction error: {ipc_error * 100:.1f}%   "
+          f"EPC prediction error: {epc_error * 100:.1f}%")
+    print("(The synthetic-trace *simulation* itself is what scales: "
+          "once profiled, each design point simulates only "
+          f"{len(report.synthetic_trace):,} instructions.)")
+
+
+if __name__ == "__main__":
+    main()

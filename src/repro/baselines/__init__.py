@@ -1,0 +1,37 @@
+"""Baselines the paper compares against.
+
+* :mod:`repro.baselines.hls` — the HLS statistical simulation framework
+  of Oskin et al. (ISCA 2000), which models the workload with a graph of
+  100 normally-sized basic blocks filled from a *global* instruction-mix
+  distribution (no per-block structure) — the contrast that motivates
+  the SFG (paper section 4.3).
+* :mod:`repro.baselines.simpoint` — SimPoint sampling (Sherwood et al.,
+  ASPLOS 2002): basic-block-vector clustering picks representative
+  intervals that are simulated in detail (paper section 4.4).
+"""
+
+from repro.baselines.hls import HLSProfile, hls_profile, run_hls_simulation
+from repro.baselines.simpoint import (
+    SimPointSelection,
+    basic_block_vectors,
+    run_simpoint,
+    select_simpoints,
+)
+
+__all__ = [
+    "HLSProfile",
+    "hls_profile",
+    "run_hls_simulation",
+    "SimPointSelection",
+    "basic_block_vectors",
+    "select_simpoints",
+    "run_simpoint",
+]
+
+from repro.baselines.related import (  # noqa: E402
+    IndependentModel,
+    SizeCorrelatedModel,
+    run_model,
+)
+
+__all__ += ["IndependentModel", "SizeCorrelatedModel", "run_model"]

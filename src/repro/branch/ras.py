@@ -1,0 +1,43 @@
+"""Return address stack.
+
+The Table 2 machine has a 64-entry RAS.  Our synthetic ISA models
+call/return pairs only implicitly (as indirect branches), so the RAS is
+not wired into the default pipeline; it is provided — and tested — as
+part of the predictor substrate for workloads that do distinguish
+returns.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class ReturnAddressStack:
+    """A circular return-address stack that overwrites on overflow,
+    as hardware RASes do."""
+
+    __slots__ = ("entries", "_stack", "_top", "_count")
+
+    def __init__(self, entries: int) -> None:
+        if entries < 1:
+            raise ValueError("entries must be >= 1")
+        self.entries = entries
+        self._stack = [0] * entries
+        self._top = 0
+        self._count = 0
+
+    def push(self, return_address: int) -> None:
+        self._stack[self._top] = return_address
+        self._top = (self._top + 1) % self.entries
+        if self._count < self.entries:
+            self._count += 1
+
+    def pop(self) -> Optional[int]:
+        if self._count == 0:
+            return None
+        self._top = (self._top - 1) % self.entries
+        self._count -= 1
+        return self._stack[self._top]
+
+    def __len__(self) -> int:
+        return self._count

@@ -1,0 +1,103 @@
+"""The combined branch prediction unit and branch outcome taxonomy.
+
+The paper's three branch characteristics (section 2.1.2) are exactly the
+three non-correct lookup outcomes this unit classifies:
+
+* ``P(taken)`` — whether the branch is taken (limits taken branches
+  fetched per cycle);
+* ``P(fetch redirection)`` — BTB miss with a correct taken/not-taken
+  prediction for a conditional branch;
+* ``P(misprediction)`` — a wrong direction for a conditional branch, or
+  a BTB miss / stale target for an indirect branch.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.config import BranchPredictorConfig
+from repro.isa.iclass import CONDITIONAL_BRANCH_CLASSES, IClass
+from repro.isa.instruction import DynamicInstruction
+from repro.branch.btb import BranchTargetBuffer
+from repro.branch.predictors import build_direction_predictor
+from repro.branch.ras import ReturnAddressStack
+
+
+class BranchOutcome(enum.IntEnum):
+    """Classification of one dynamic branch lookup."""
+
+    CORRECT = 0
+    FETCH_REDIRECTION = 1
+    MISPREDICTION = 2
+
+
+@dataclass(frozen=True)
+class BranchRecord:
+    """Outcome of one dynamic branch: its trace position, whether it was
+    taken, and how the predictor fared."""
+
+    seq: int
+    taken: bool
+    outcome: BranchOutcome
+
+    @property
+    def mispredicted(self) -> bool:
+        return self.outcome is BranchOutcome.MISPREDICTION
+
+
+class BranchPredictorUnit:
+    """Direction predictor + BTB (+ RAS), with lookup/update split.
+
+    ``classify`` performs a *lookup only* — no state changes — returning
+    the :class:`BranchOutcome` the fetch engine would see given the
+    predictor's current state.  ``train`` applies the resolved outcome.
+    Separating the two is what lets callers model immediate update,
+    delayed update (section 2.1.3) and dispatch-time speculative update
+    in the pipeline.
+    """
+
+    def __init__(self, config: BranchPredictorConfig) -> None:
+        self.config = config
+        self.direction = build_direction_predictor(config)
+        self.btb = BranchTargetBuffer(config.btb_entries,
+                                      config.btb_associativity)
+        self.ras = ReturnAddressStack(config.ras_entries)
+        self.lookups = 0
+        self.updates = 0
+
+    def classify(self, inst: DynamicInstruction) -> BranchOutcome:
+        """Classify the lookup for branch *inst* (no training)."""
+        self.lookups += 1
+        if inst.iclass in CONDITIONAL_BRANCH_CLASSES:
+            predicted_taken = self.direction.lookup(inst.pc)
+            if predicted_taken != inst.taken:
+                return BranchOutcome.MISPREDICTION
+            if not inst.taken:
+                return BranchOutcome.CORRECT
+            # Correct taken prediction: need the target from the BTB.
+            target = self.btb.lookup(inst.pc)
+            if target == inst.target:
+                return BranchOutcome.CORRECT
+            return BranchOutcome.FETCH_REDIRECTION
+        if inst.iclass is IClass.INDIRECT_BRANCH:
+            target = self.btb.lookup(inst.pc)
+            if target == inst.target:
+                return BranchOutcome.CORRECT
+            return BranchOutcome.MISPREDICTION
+        raise ValueError(f"not a branch: {inst!r}")
+
+    def train(self, inst: DynamicInstruction) -> None:
+        """Train direction predictor and BTB with the resolved branch."""
+        self.updates += 1
+        if inst.iclass in CONDITIONAL_BRANCH_CLASSES:
+            self.direction.update(inst.pc, inst.taken)
+            if inst.taken:
+                self.btb.update(inst.pc, inst.target)
+        else:
+            self.btb.update(inst.pc, inst.target)
+
+    def record(self, inst: DynamicInstruction) -> BranchRecord:
+        """Classify *inst* into a :class:`BranchRecord` (lookup only)."""
+        return BranchRecord(seq=inst.seq, taken=inst.taken,
+                            outcome=self.classify(inst))

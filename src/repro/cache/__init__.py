@@ -1,0 +1,26 @@
+"""Cache and TLB substrate.
+
+Provides the set-associative caches and TLBs of the paper's Table 2
+machine, the three-level hierarchy used both for cache profiling (the six
+miss rates of section 2.1.2) and by the execution-driven pipeline, and a
+single-pass multi-configuration profiler in the spirit of the cheetah
+simulator the paper cites.
+"""
+
+from repro.cache.cache import SetAssociativeCache
+from repro.cache.tlb import TranslationLookasideBuffer
+from repro.cache.hierarchy import (
+    CacheHierarchy,
+    DataAccessResult,
+    InstructionAccessResult,
+)
+from repro.cache.cheetah import StackDistanceProfiler
+
+__all__ = [
+    "SetAssociativeCache",
+    "TranslationLookasideBuffer",
+    "CacheHierarchy",
+    "DataAccessResult",
+    "InstructionAccessResult",
+    "StackDistanceProfiler",
+]

@@ -1,0 +1,52 @@
+"""Translation lookaside buffer: a set-associative cache of pages."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.config import TLBConfig
+
+
+class TranslationLookasideBuffer:
+    """LRU set-associative TLB (paper Table 2: 32-entry, 8-way, 4KB
+    pages)."""
+
+    __slots__ = ("config", "_sets", "_page_shift", "_num_sets",
+                 "accesses", "misses")
+
+    def __init__(self, config: TLBConfig) -> None:
+        page = config.page_bytes
+        if page & (page - 1):
+            raise ValueError("page size must be a power of two")
+        self.config = config
+        self._page_shift = page.bit_length() - 1
+        self._num_sets = config.num_sets
+        self._sets: List[List[int]] = [[] for _ in range(self._num_sets)]
+        self.accesses = 0
+        self.misses = 0
+
+    def access(self, address: int) -> bool:
+        """Translate *address*; return True on TLB hit."""
+        self.accesses += 1
+        page = address >> self._page_shift
+        ways = self._sets[page % self._num_sets]
+        try:
+            ways.remove(page)
+        except ValueError:
+            self.misses += 1
+            if len(ways) >= self.config.associativity:
+                ways.pop(0)
+            ways.append(page)
+            return False
+        ways.append(page)
+        return True
+
+    @property
+    def miss_rate(self) -> float:
+        if self.accesses == 0:
+            return 0.0
+        return self.misses / self.accesses
+
+    def reset_statistics(self) -> None:
+        self.accesses = 0
+        self.misses = 0

@@ -1,0 +1,333 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands mirror the paper's workflow:
+
+* ``benchmarks`` — list the workload suite and its static shape;
+* ``simulate`` — compare execution-driven and statistical simulation
+  on one benchmark (the quickstart, scriptable);
+* ``profile`` — measure a statistical profile and save it to JSON;
+* ``synthesize`` — generate a synthetic trace from a saved profile and
+  report its composition;
+* ``experiment`` — regenerate one of the paper's tables/figures.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import sys
+from typing import List, Optional
+
+EXPERIMENTS = {
+    "table1": "table1_baseline",
+    "fig3": "fig3_branch_profiling",
+    "fig4": "fig4_sfg_order",
+    "table3": "table3_sfg_size",
+    "fig5": "fig5_delayed_update",
+    "fig6": "fig6_absolute",
+    "sec41": "sec41_convergence",
+    "fig7": "fig7_hls",
+    "fig8": "fig8_phases",
+    "table4": "table4_relative",
+    "sec46": "sec46_design_space",
+    "ablation-models": "ablation_workload_models",
+    "ablation-fifo": "ablation_fifo_size",
+    "ablation-reduction": "ablation_reduction",
+    "extension-inorder": "extension_inorder",
+    "speedup": "speedup",
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Statistical simulation with control-flow modeling "
+                    "(Eeckhout et al., ISCA 2004 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("benchmarks", help="list the workload suite")
+
+    simulate = sub.add_parser(
+        "simulate", help="execution-driven vs statistical simulation")
+    simulate.add_argument("benchmark")
+    simulate.add_argument("--instructions", type=int, default=60_000)
+    simulate.add_argument("--warmup", type=int, default=40_000)
+    simulate.add_argument("-R", "--reduction-factor", type=float,
+                          default=6.0)
+    simulate.add_argument("-k", "--order", type=int, default=1)
+    simulate.add_argument("--seed", type=int, default=0)
+
+    profile = sub.add_parser("profile",
+                             help="measure and save a statistical profile")
+    profile.add_argument("benchmark")
+    profile.add_argument("-o", "--output", required=True)
+    profile.add_argument("--instructions", type=int, default=60_000)
+    profile.add_argument("--warmup", type=int, default=40_000)
+    profile.add_argument("-k", "--order", type=int, default=1)
+    profile.add_argument("--branch-mode", default="delayed",
+                         choices=("delayed", "immediate", "perfect"))
+
+    synthesize = sub.add_parser(
+        "synthesize", help="generate a synthetic trace from a profile")
+    synthesize.add_argument("profile")
+    synthesize.add_argument("-R", "--reduction-factor", type=float,
+                            default=6.0)
+    synthesize.add_argument("--seed", type=int, default=0)
+    synthesize.add_argument("--simulate", action="store_true",
+                            help="also simulate the synthetic trace")
+
+    experiment = sub.add_parser(
+        "experiment", help="regenerate a table/figure of the paper")
+    experiment.add_argument("name", choices=sorted(EXPERIMENTS))
+    experiment.add_argument("--scale", default="quick",
+                            choices=("quick", "default"))
+
+    analyze = sub.add_parser(
+        "analyze", help="analyze a saved profile's flow graph")
+    analyze.add_argument("profile")
+    analyze.add_argument("-R", "--reduction-factor", type=float,
+                         default=None,
+                         help="also report the reduced graph at this R")
+    analyze.add_argument("--top", type=int, default=8)
+
+    validate = sub.add_parser(
+        "validate", help="drift report: profile vs synthetic trace")
+    validate.add_argument("profile")
+    validate.add_argument("-R", "--reduction-factor", type=float,
+                          default=6.0)
+    validate.add_argument("--seed", type=int, default=0)
+    validate.add_argument("--threshold", type=float, default=0.05)
+
+    trace = sub.add_parser(
+        "trace", help="record a workload's dynamic trace to a file")
+    trace.add_argument("benchmark")
+    trace.add_argument("-o", "--output", required=True)
+    trace.add_argument("--instructions", type=int, default=60_000)
+    trace.add_argument("--warmup", type=int, default=0)
+
+    report = sub.add_parser(
+        "report", help="run every experiment and write a Markdown report")
+    report.add_argument("-o", "--output", required=True)
+    report.add_argument("--scale", default="quick",
+                        choices=("quick", "default"))
+    return parser
+
+
+def _cmd_benchmarks() -> int:
+    from repro.workloads.spec import SPEC_INT_2000, build_benchmark
+
+    print(f"{'benchmark':10} {'blocks':>7} {'static insns':>13} "
+          f"{'code KB':>8} {'data KB':>8}")
+    for name, config in SPEC_INT_2000.items():
+        program = build_benchmark(name)
+        print(f"{name:10} {program.num_blocks:>7} "
+              f"{program.static_instruction_count:>13} "
+              f"{config.code_footprint_kb:>8} "
+              f"{config.working_set_kb:>8}")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.config import baseline_config
+    from repro.core.framework import (run_execution_driven,
+                                      run_statistical_simulation)
+    from repro.core.metrics import absolute_error
+    from repro.frontend.warming import run_program_with_warmup
+    from repro.workloads.spec import build_benchmark
+
+    config = baseline_config()
+    warm, trace = run_program_with_warmup(
+        build_benchmark(args.benchmark), warmup=args.warmup,
+        n_instructions=args.instructions)
+    reference, power = run_execution_driven(trace, config,
+                                            warmup_trace=warm)
+    report = run_statistical_simulation(
+        trace, config, order=args.order,
+        reduction_factor=args.reduction_factor, seed=args.seed,
+        warmup_trace=warm)
+    print(f"execution-driven: IPC {reference.ipc:.3f}  "
+          f"EPC {power.total:.1f} W")
+    print(f"statistical:      IPC {report.ipc:.3f}  "
+          f"EPC {report.epc:.1f} W  "
+          f"({len(report.synthetic_trace):,} synthetic instructions, "
+          f"{report.profile.num_nodes} SFG nodes)")
+    print(f"IPC error {absolute_error(report.ipc, reference.ipc) * 100:.1f}%  "
+          f"EPC error "
+          f"{absolute_error(report.epc, power.total) * 100:.1f}%")
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.config import baseline_config
+    from repro.core.profiler import profile_trace
+    from repro.core.serialization import save_profile
+    from repro.frontend.warming import run_program_with_warmup
+    from repro.workloads.spec import build_benchmark
+
+    config = baseline_config()
+    warm, trace = run_program_with_warmup(
+        build_benchmark(args.benchmark), warmup=args.warmup,
+        n_instructions=args.instructions)
+    profile = profile_trace(trace, config, order=args.order,
+                            branch_mode=args.branch_mode,
+                            warmup_trace=warm)
+    save_profile(profile, args.output)
+    print(f"profiled {profile.trace_instructions:,} instructions into "
+          f"{profile.num_nodes} order-{profile.order} SFG nodes "
+          f"-> {args.output}")
+    return 0
+
+
+def _cmd_synthesize(args: argparse.Namespace) -> int:
+    from repro.core.serialization import load_profile
+    from repro.core.synthesis import generate_synthetic_trace
+
+    profile = load_profile(args.profile)
+    synthetic = generate_synthetic_trace(
+        profile, args.reduction_factor, seed=args.seed)
+    summary = synthetic.summary()
+    print(f"synthetic trace: {summary['instructions']:,} instructions "
+          f"(R = {args.reduction_factor:g})")
+    for key in ("load_fraction", "branch_fraction", "il1_miss_rate",
+                "dl1_miss_rate", "misprediction_rate"):
+        print(f"  {key}: {summary[key]:.4f}")
+    if args.simulate:
+        from repro.core.framework import simulate_synthetic_trace
+
+        result, power = simulate_synthetic_trace(synthetic,
+                                                 profile.config)
+        print(f"  simulated: IPC {result.ipc:.3f}  "
+              f"EPC {power.total:.1f} W")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.experiments.common import DEFAULT_SCALE, QUICK_SCALE
+
+    scale = QUICK_SCALE if args.scale == "quick" else DEFAULT_SCALE
+    print(_run_experiment(args.name, scale))
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.core.analysis import (hottest_contexts,
+                                     reduced_connectivity,
+                                     transition_entropy)
+    from repro.core.reduction import reduce_flow_graph
+    from repro.core.serialization import load_profile
+
+    profile = load_profile(args.profile)
+    sfg = profile.sfg
+    print(f"{profile.name}: order-{profile.order} SFG, "
+          f"{sfg.num_nodes} nodes, "
+          f"{sfg.total_block_executions:,} block executions")
+    print(f"transition entropy: {transition_entropy(sfg):.3f} bits")
+    print(f"\nhottest contexts (top {args.top}):")
+    for context, count, share in hottest_contexts(sfg, top=args.top):
+        print(f"  {context}: {count} ({share * 100:.1f}%)")
+    if args.reduction_factor is not None:
+        reduced = reduce_flow_graph(sfg, args.reduction_factor)
+        stats = reduced_connectivity(sfg, reduced)
+        print(f"\nreduced at R={args.reduction_factor:g}: "
+              f"{reduced.num_nodes} nodes, "
+              f"{stats['components']} weakly connected components, "
+              f"largest holds "
+              f"{stats['largest_component_mass'] * 100:.1f}% of mass")
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from repro.core.serialization import load_profile
+    from repro.core.synthesis import generate_synthetic_trace
+    from repro.core.validation import drift_report, format_drift_report
+
+    profile = load_profile(args.profile)
+    synthetic = generate_synthetic_trace(
+        profile, args.reduction_factor, seed=args.seed)
+    report = drift_report(profile, synthetic, threshold=args.threshold)
+    print(f"{profile.name}: profile expectation vs synthetic trace "
+          f"(R = {args.reduction_factor:g}, seed {args.seed})")
+    print(format_drift_report(report))
+    flagged = sum(1 for entry in report.values() if "flagged" in entry)
+    print(f"\n{flagged} characteristic(s) drift beyond "
+          f"{args.threshold:g}")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.frontend.functional import run_program
+    from repro.frontend.tracefile import save_trace
+    from repro.workloads.spec import build_benchmark
+
+    trace = run_program(build_benchmark(args.benchmark),
+                        n_instructions=args.instructions,
+                        warmup=args.warmup)
+    save_trace(trace, args.output)
+    print(f"recorded {len(trace):,} instructions of {args.benchmark} "
+          f"-> {args.output}")
+    return 0
+
+
+#: Experiments whose ``run`` takes a benchmark name first.
+_PER_BENCHMARK_EXPERIMENTS = ("sec41", "ablation-reduction")
+
+
+def _run_experiment(name: str, scale) -> str:
+    module = importlib.import_module(
+        f"repro.experiments.{EXPERIMENTS[name]}")
+    if name == "sec46":
+        rows = module.run_suite(benchmarks=scale.benchmarks[:3],
+                                scale=scale)
+    elif name in _PER_BENCHMARK_EXPERIMENTS:
+        rows = module.run(scale.benchmarks[0], scale)
+    else:
+        rows = module.run(scale)
+    return module.format_rows(rows)
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.experiments.common import DEFAULT_SCALE, QUICK_SCALE
+
+    scale = QUICK_SCALE if args.scale == "quick" else DEFAULT_SCALE
+    sections = []
+    for name in sorted(EXPERIMENTS):
+        started = time.perf_counter()
+        table = _run_experiment(name, scale)
+        elapsed = time.perf_counter() - started
+        print(f"{name}: done in {elapsed:.1f}s")
+        sections.append(f"## {name}\n\n```\n{table}\n```\n")
+    body = (f"# repro experiment report ({args.scale} scale)\n\n"
+            + "\n".join(sections))
+    with open(args.output, "w") as handle:
+        handle.write(body)
+    print(f"report written to {args.output}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "benchmarks":
+        return _cmd_benchmarks()
+    if args.command == "simulate":
+        return _cmd_simulate(args)
+    if args.command == "profile":
+        return _cmd_profile(args)
+    if args.command == "synthesize":
+        return _cmd_synthesize(args)
+    if args.command == "experiment":
+        return _cmd_experiment(args)
+    if args.command == "analyze":
+        return _cmd_analyze(args)
+    if args.command == "validate":
+        return _cmd_validate(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
+    if args.command == "report":
+        return _cmd_report(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,109 @@
+"""Analysis utilities for statistical flow graphs.
+
+The paper asserts qualitative properties of the SFG — that it stays
+"both simpler and smaller" than SMART's fully-qualified graphs, and
+that after reduction "the interconnection is still strong enough" for
+accurate prediction.  These helpers quantify such properties: graph
+export for inspection (networkx), transition entropy (how much control
+flow is actually conditioned by history), and connectivity of reduced
+graphs.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional
+
+import networkx as nx
+
+from repro.core.reduction import ReducedFlowGraph
+from repro.core.sfg import StatisticalFlowGraph
+
+
+def to_networkx(sfg: StatisticalFlowGraph,
+                reduced: Optional[ReducedFlowGraph] = None) -> nx.DiGraph:
+    """Export an SFG (optionally restricted to a reduced graph's
+    surviving nodes) as a networkx DiGraph.
+
+    Nodes are contexts (``(k+1)``-gram tuples) with ``occurrences``
+    attributes; edges carry the profiled transition ``probability`` and
+    ``count``.
+    """
+    keep = None if reduced is None else set(reduced.occurrences)
+    graph = nx.DiGraph(order=sfg.order)
+    for context, stats in sfg.contexts.items():
+        if keep is not None and context not in keep:
+            continue
+        occurrences = (reduced.occurrences[context] if reduced is not None
+                       else stats.occurrences)
+        graph.add_node(context, occurrences=occurrences,
+                       block=context[-1], block_size=stats.block_size)
+    for context in list(graph.nodes):
+        history = context[1:] if sfg.order > 0 else ()
+        counts = sfg.transitions.get(history)
+        if not counts:
+            continue
+        total = sum(counts.values())
+        for block, count in counts.items():
+            successor = history + (block,)
+            if successor in graph:
+                graph.add_edge(context, successor, count=count,
+                               probability=count / total)
+    return graph
+
+
+def transition_entropy(sfg: StatisticalFlowGraph) -> float:
+    """Occurrence-weighted mean entropy (bits) of the next-block
+    distributions.
+
+    Zero means control flow is fully determined by the history (every
+    history has a single successor); high values mean the order-k
+    history leaves successor choice mostly random — the regime where
+    higher k (or any k at all) pays off least.
+    """
+    weighted = 0.0
+    total = 0
+    for history, counts in sfg.transitions.items():
+        mass = sum(counts.values())
+        entropy = 0.0
+        for count in counts.values():
+            p = count / mass
+            entropy -= p * math.log2(p)
+        weighted += mass * entropy
+        total += mass
+    return weighted / total if total else 0.0
+
+
+def reduced_connectivity(sfg: StatisticalFlowGraph,
+                         reduced: ReducedFlowGraph) -> Dict[str, float]:
+    """Quantify the paper's "interconnection is still strong enough"
+    claim for a reduced graph.
+
+    Returns the fraction of surviving nodes in the largest weakly
+    connected component, the number of components, and the fraction of
+    the surviving occurrence mass that the largest component holds.
+    """
+    graph = to_networkx(sfg, reduced=reduced)
+    if graph.number_of_nodes() == 0:
+        return {"largest_component_fraction": 0.0, "components": 0,
+                "largest_component_mass": 0.0}
+    components = list(nx.weakly_connected_components(graph))
+    largest = max(components, key=len)
+    total_mass = sum(reduced.occurrences.values())
+    largest_mass = sum(reduced.occurrences[c] for c in largest)
+    return {
+        "largest_component_fraction": len(largest) / graph.number_of_nodes(),
+        "components": len(components),
+        "largest_component_mass": (largest_mass / total_mass
+                                   if total_mass else 0.0),
+    }
+
+
+def hottest_contexts(sfg: StatisticalFlowGraph, top: int = 10):
+    """The *top* contexts by occurrence, with their share of all block
+    executions (inspection aid used by the CLI and examples)."""
+    ranked = sorted(sfg.contexts.items(),
+                    key=lambda item: -item[1].occurrences)[:top]
+    total = max(1, sfg.total_block_executions)
+    return [(context, stats.occurrences, stats.occurrences / total)
+            for context, stats in ranked]

@@ -1,0 +1,50 @@
+"""Accuracy metrics used throughout the paper's evaluation.
+
+* Absolute error (section 4.2):
+  ``AE = |M_SS - M_EDS| / M_EDS``.
+* Relative error between design points A and B (section 4.5):
+  ``RE = |(M_B,SS / M_A,SS) - (M_B,EDS / M_A,EDS)| / (M_B,EDS / M_A,EDS)``.
+* Coefficient of variation over seeds (section 4.1):
+  ``CoV = stdev / mean``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+
+def absolute_error(predicted: float, reference: float) -> float:
+    """The paper's absolute prediction error AE_M (section 4.2)."""
+    if reference == 0:
+        raise ValueError("reference metric is zero")
+    return abs(predicted - reference) / abs(reference)
+
+
+def relative_error(predicted_a: float, predicted_b: float,
+                   reference_a: float, reference_b: float) -> float:
+    """The paper's relative prediction error RE_M when moving from
+    design point A to design point B (section 4.5)."""
+    if 0 in (predicted_a, reference_a, reference_b):
+        raise ValueError("metrics must be non-zero")
+    predicted_trend = predicted_b / predicted_a
+    reference_trend = reference_b / reference_a
+    return abs(predicted_trend - reference_trend) / abs(reference_trend)
+
+
+def coefficient_of_variation(values: Sequence[float]) -> float:
+    """Sample standard deviation divided by the mean (section 4.1)."""
+    if len(values) < 2:
+        raise ValueError("need at least two values")
+    mean = sum(values) / len(values)
+    if mean == 0:
+        raise ValueError("mean is zero")
+    variance = sum((v - mean) ** 2 for v in values) / (len(values) - 1)
+    return math.sqrt(variance) / abs(mean)
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean (convenience for experiment tables)."""
+    if not values:
+        raise ValueError("empty sequence")
+    return sum(values) / len(values)

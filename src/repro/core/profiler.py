@@ -1,0 +1,207 @@
+"""Statistical profiling (paper Figure 1, step 1).
+
+One pass over a dynamic trace builds the :class:`StatisticalProfile`:
+
+* microarchitecture-independent: the order-k SFG with instruction types,
+  operand counts and per-operand dependency-distance distributions;
+* microarchitecture-dependent: the six cache miss events (measured with
+  a live :class:`~repro.cache.hierarchy.CacheHierarchy`) and the branch
+  characteristics (measured with the immediate- or delayed-update branch
+  profilers of :mod:`repro.branch.profiler`), annotated per context.
+
+``branch_mode="delayed"`` uses the paper's FIFO profiling algorithm with
+the FIFO sized to the instruction fetch queue (section 2.1.3);
+``"immediate"`` is the naive pre-paper mode; ``"perfect"`` marks every
+branch correctly predicted (used for the SFG-order study, Figure 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.config import MachineConfig
+from repro.frontend.trace import Trace
+from repro.branch.profiler import (
+    profile_branches_delayed,
+    profile_branches_immediate,
+)
+from repro.branch.unit import BranchOutcome, BranchPredictorUnit, BranchRecord
+from repro.cache.hierarchy import CacheHierarchy
+from repro.core.sfg import (
+    MAX_DEPENDENCY_DISTANCE,
+    START_BLOCK,
+    StatisticalFlowGraph,
+)
+
+BRANCH_MODES = ("delayed", "immediate", "perfect")
+
+
+@dataclass
+class StatisticalProfile:
+    """A statistical profile: the SFG plus provenance metadata.
+
+    The cache and branch characteristics inside the SFG are specific to
+    the profiled :class:`MachineConfig`'s locality structures (and to the
+    FIFO size = IFQ size for delayed update), so design-space sweeps over
+    caches, predictors or the IFQ re-profile — exactly the trade-off the
+    paper discusses versus SimPoint in section 4.4.
+    """
+
+    name: str
+    order: int
+    sfg: StatisticalFlowGraph
+    trace_instructions: int
+    branch_mode: str
+    perfect_caches: bool
+    config: MachineConfig
+
+    @property
+    def num_nodes(self) -> int:
+        return self.sfg.num_nodes
+
+
+def _branch_records(trace: Trace, config: MachineConfig,
+                    branch_mode: str,
+                    unit: Optional[BranchPredictorUnit] = None
+                    ) -> Dict[int, BranchRecord]:
+    """Classify every dynamic branch, keyed by trace sequence number."""
+    if branch_mode == "perfect":
+        return {
+            inst.seq: BranchRecord(inst.seq, inst.taken,
+                                   BranchOutcome.CORRECT)
+            for inst in trace if inst.is_branch
+        }
+    if unit is None:
+        unit = BranchPredictorUnit(config.predictor)
+    if branch_mode == "immediate":
+        records = profile_branches_immediate(trace, unit)
+    elif branch_mode == "delayed":
+        records = profile_branches_delayed(trace, unit,
+                                           fifo_size=config.ifq_size)
+    else:
+        raise ValueError(
+            f"branch_mode must be one of {BRANCH_MODES}, got {branch_mode!r}"
+        )
+    return {record.seq: record for record in records}
+
+
+def profile_trace(trace: Trace, config: MachineConfig, order: int = 1,
+                  branch_mode: str = "delayed",
+                  perfect_caches: bool = False,
+                  warmup_trace: Optional[Trace] = None
+                  ) -> StatisticalProfile:
+    """Build the statistical profile of *trace* (paper section 2.1).
+
+    *warmup_trace* functionally warms the cache hierarchy and branch
+    predictor before characteristics are recorded, so the profile
+    describes the warm measurement window the paper's samples represent.
+    """
+    from repro.frontend.warming import warm_locality_structures
+
+    if order < 0:
+        raise ValueError("order must be >= 0")
+    if branch_mode not in BRANCH_MODES:
+        raise ValueError(
+            f"branch_mode must be one of {BRANCH_MODES}, got {branch_mode!r}"
+        )
+
+    sfg = StatisticalFlowGraph(order)
+    warm_hierarchy, warm_unit = warm_locality_structures(warmup_trace,
+                                                         config)
+    branch_records = _branch_records(trace, config, branch_mode,
+                                     unit=warm_unit)
+    hierarchy: Optional[CacheHierarchy] = (
+        None if perfect_caches else warm_hierarchy
+    )
+
+    history: List[int] = [START_BLOCK] * order
+    last_writer: Dict[int, int] = {}
+    last_reader: Dict[int, int] = {}
+
+    # Buffered events for the block currently being executed.
+    block_insts: list = []
+    block_events: list = []  # per slot: (il1, l2i, itlb, dl1, l2d, dtlb)
+
+    for inst in trace.instructions:
+        il1 = l2i = itlb = dl1 = dl2 = dtlb = False
+        if hierarchy is not None:
+            iresult = hierarchy.access_instruction(inst.pc)
+            il1, l2i, itlb = (iresult.il1_miss, iresult.l2_miss,
+                              iresult.itlb_miss)
+            if inst.mem_addr is not None:
+                dresult = hierarchy.access_data(inst.mem_addr,
+                                                is_store=inst.is_store)
+                if inst.is_load:
+                    dl1, dl2, dtlb = (dresult.dl1_miss, dresult.l2_miss,
+                                      dresult.dtlb_miss)
+        block_insts.append(inst)
+        block_events.append((il1, l2i, itlb, dl1, dl2, dtlb))
+
+        if not inst.is_branch:
+            continue
+
+        # Block complete: attribute everything to its context.
+        block = inst.bb_id
+        stats = sfg.context_for(
+            history, block,
+            iclasses=[i.iclass for i in block_insts],
+            n_src=[len(i.src_regs) for i in block_insts],
+        )
+        stats.occurrences += 1
+        sfg.total_block_executions += 1
+        sfg.record_transition(history, block)
+
+        for slot, (binst, events) in enumerate(zip(block_insts,
+                                                   block_events)):
+            e_il1, e_l2i, e_itlb, e_dl1, e_l2d, e_dtlb = events
+            stats.il1[slot] += e_il1
+            stats.l2i[slot] += e_l2i
+            stats.itlb[slot] += e_itlb
+            stats.dl1[slot] += e_dl1
+            stats.l2d[slot] += e_l2d
+            stats.dtlb[slot] += e_dtlb
+            for operand, reg in enumerate(binst.src_regs):
+                writer = last_writer.get(reg)
+                if writer is not None:
+                    distance = binst.seq - writer
+                    if 0 < distance <= MAX_DEPENDENCY_DISTANCE:
+                        stats.record_dependency(slot, operand, distance)
+                last_reader[reg] = binst.seq
+            if binst.dst_reg is not None:
+                # WAW/WAR distances (section 2.1.1 extension); recorded
+                # alongside RAW, consumed only when synthesis is asked
+                # to model machines without full renaming.
+                previous_writer = last_writer.get(binst.dst_reg)
+                if previous_writer is not None:
+                    distance = binst.seq - previous_writer
+                    if 0 < distance <= MAX_DEPENDENCY_DISTANCE:
+                        stats.record_anti_dependency(slot, "waw", distance)
+                previous_reader = last_reader.get(binst.dst_reg)
+                if previous_reader is not None:
+                    distance = binst.seq - previous_reader
+                    if 0 < distance <= MAX_DEPENDENCY_DISTANCE:
+                        stats.record_anti_dependency(slot, "war", distance)
+                last_writer[binst.dst_reg] = binst.seq
+
+        record = branch_records.get(inst.seq)
+        if record is not None:
+            stats.taken += record.taken
+            stats.outcome_counts[record.outcome] += 1
+
+        if order > 0:
+            history.append(block)
+            del history[0]
+        block_insts = []
+        block_events = []
+
+    # A trailing partial block (trace ended mid-block) is discarded.
+    return StatisticalProfile(
+        name=trace.name,
+        order=order,
+        sfg=sfg,
+        trace_instructions=len(trace),
+        branch_mode=branch_mode,
+        perfect_caches=perfect_caches,
+        config=config,
+    )

@@ -1,0 +1,52 @@
+"""Reduced statistical flow graph (paper section 2.2).
+
+Before synthesis, the node occurrences are divided by the synthetic trace
+reduction factor R (``Ni = floor(Mi / R)``) and nodes left with zero
+occurrences are removed together with their edges.  The reduced graph is
+generally no longer fully interconnected, "however, the interconnection
+is still strong enough to allow for accurate performance predictions".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.core.sfg import Context, StatisticalFlowGraph
+
+
+@dataclass
+class ReducedFlowGraph:
+    """The surviving contexts with their reduced occurrence budgets.
+
+    Transition probabilities stay those of the full SFG; during the walk
+    an edge is only eligible while its target context has budget left
+    (see DESIGN.md for this termination interpretation).
+    """
+
+    sfg: StatisticalFlowGraph
+    reduction_factor: float
+    occurrences: Dict[Context, int]
+
+    @property
+    def total_blocks(self) -> int:
+        """Blocks the synthetic walk will emit (sum of budgets)."""
+        return sum(self.occurrences.values())
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.occurrences)
+
+
+def reduce_flow_graph(sfg: StatisticalFlowGraph,
+                      reduction_factor: float) -> ReducedFlowGraph:
+    """Divide occurrences by *reduction_factor* and drop empty nodes."""
+    if reduction_factor < 1:
+        raise ValueError("reduction factor must be >= 1")
+    reduced: Dict[Context, int] = {}
+    for context, stats in sfg.contexts.items():
+        budget = int(stats.occurrences // reduction_factor)
+        if budget > 0:
+            reduced[context] = budget
+    return ReducedFlowGraph(sfg=sfg, reduction_factor=reduction_factor,
+                            occurrences=reduced)

@@ -1,0 +1,146 @@
+"""Saving and loading statistical profiles.
+
+A statistical profile is the methodology's reusable artifact: measure
+once, then explore many design points (the paper's Figure 1 separates
+profiling from synthesis for exactly this reason).  This module
+round-trips :class:`~repro.core.profiler.StatisticalProfile` objects
+through plain JSON so profiles can be archived, shared and re-used
+across sessions.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+from typing import Dict, List, Union
+
+from repro.config import (
+    BranchPredictorConfig,
+    CacheConfig,
+    MachineConfig,
+    TLBConfig,
+)
+from repro.isa.iclass import IClass
+from repro.core.profiler import StatisticalProfile
+from repro.core.sfg import ContextStats, StatisticalFlowGraph
+
+FORMAT_VERSION = 1
+
+
+def _config_to_dict(config: MachineConfig) -> Dict:
+    return asdict(config)
+
+
+def _config_from_dict(data: Dict) -> MachineConfig:
+    data = dict(data)
+    for key, cls in (("il1", CacheConfig), ("dl1", CacheConfig),
+                     ("l2", CacheConfig), ("itlb", TLBConfig),
+                     ("dtlb", TLBConfig),
+                     ("predictor", BranchPredictorConfig)):
+        data[key] = cls(**data[key])
+    return MachineConfig(**data)
+
+
+def _histogram_to_list(histogram: Dict[int, int]) -> List[List[int]]:
+    return [[key, count] for key, count in sorted(histogram.items())]
+
+
+def _histogram_from_list(pairs: List[List[int]]) -> Dict[int, int]:
+    return {int(key): int(count) for key, count in pairs}
+
+
+def _context_to_dict(stats: ContextStats) -> Dict:
+    return {
+        "occurrences": stats.occurrences,
+        "iclasses": [int(iclass) for iclass in stats.iclasses],
+        "n_src": stats.n_src,
+        "dep_hists": [[_histogram_to_list(hist) for hist in operands]
+                      for operands in stats.dep_hists],
+        "waw_hists": [_histogram_to_list(h) for h in stats.waw_hists],
+        "war_hists": [_histogram_to_list(h) for h in stats.war_hists],
+        "il1": stats.il1, "l2i": stats.l2i, "itlb": stats.itlb,
+        "dl1": stats.dl1, "l2d": stats.l2d, "dtlb": stats.dtlb,
+        "taken": stats.taken,
+        "outcome_counts": stats.outcome_counts,
+    }
+
+
+def _context_from_dict(data: Dict) -> ContextStats:
+    stats = ContextStats([IClass(i) for i in data["iclasses"]],
+                         data["n_src"])
+    stats.occurrences = data["occurrences"]
+    stats.dep_hists = [[_histogram_from_list(hist) for hist in operands]
+                       for operands in data["dep_hists"]]
+    stats.waw_hists = [_histogram_from_list(h) for h in data["waw_hists"]]
+    stats.war_hists = [_histogram_from_list(h) for h in data["war_hists"]]
+    stats.il1 = list(data["il1"])
+    stats.l2i = list(data["l2i"])
+    stats.itlb = list(data["itlb"])
+    stats.dl1 = list(data["dl1"])
+    stats.l2d = list(data["l2d"])
+    stats.dtlb = list(data["dtlb"])
+    stats.taken = data["taken"]
+    stats.outcome_counts = list(data["outcome_counts"])
+    return stats
+
+
+def profile_to_dict(profile: StatisticalProfile) -> Dict:
+    """Serialize *profile* to a JSON-compatible dictionary."""
+    sfg = profile.sfg
+    return {
+        "format": FORMAT_VERSION,
+        "name": profile.name,
+        "order": profile.order,
+        "branch_mode": profile.branch_mode,
+        "perfect_caches": profile.perfect_caches,
+        "trace_instructions": profile.trace_instructions,
+        "config": _config_to_dict(profile.config),
+        "total_block_executions": sfg.total_block_executions,
+        "transitions": [
+            [list(history), {str(block): count
+                             for block, count in counts.items()}]
+            for history, counts in sfg.transitions.items()
+        ],
+        "contexts": [
+            [list(context), _context_to_dict(stats)]
+            for context, stats in sfg.contexts.items()
+        ],
+    }
+
+
+def profile_from_dict(data: Dict) -> StatisticalProfile:
+    """Reconstruct a profile from :func:`profile_to_dict` output."""
+    if data.get("format") != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported profile format {data.get('format')!r}; "
+            f"expected {FORMAT_VERSION}"
+        )
+    sfg = StatisticalFlowGraph(order=data["order"])
+    sfg.total_block_executions = data["total_block_executions"]
+    for history, counts in data["transitions"]:
+        sfg.transitions[tuple(history)] = {
+            int(block): count for block, count in counts.items()
+        }
+    for context, stats in data["contexts"]:
+        sfg.contexts[tuple(context)] = _context_from_dict(stats)
+    return StatisticalProfile(
+        name=data["name"],
+        order=data["order"],
+        sfg=sfg,
+        trace_instructions=data["trace_instructions"],
+        branch_mode=data["branch_mode"],
+        perfect_caches=data["perfect_caches"],
+        config=_config_from_dict(data["config"]),
+    )
+
+
+def save_profile(profile: StatisticalProfile,
+                 path: Union[str, Path]) -> None:
+    """Write *profile* to *path* as JSON."""
+    Path(path).write_text(json.dumps(profile_to_dict(profile)))
+
+
+def load_profile(path: Union[str, Path]) -> StatisticalProfile:
+    """Load a profile previously written by :func:`save_profile`."""
+    return profile_from_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,184 @@
+"""The statistical flow graph (paper section 2.1.1).
+
+An order-k SFG characterizes control flow as sequences of basic blocks:
+a *context* is a basic block together with its history of k preceding
+blocks (a ``(k+1)``-gram).  Transition probabilities
+``P[Bn | Bn-1 .. Bn-k]`` hang on the k-block histories; everything else —
+instruction types, operand counts, per-operand dependency-distance
+distributions, and the microarchitecture-dependent branch and cache
+characteristics — is recorded per context, so "the same branch with a
+different history is stored separately" (section 2.1.2).
+
+For k = 0 a context is a single basic block and the graph has no edges;
+the synthetic trace generator then draws blocks independently from the
+occurrence distribution, as the paper specifies.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.isa.iclass import IClass
+
+#: Dependency distances are capped here, "which still allows the modeling
+#: of a wide range of current and near-future microprocessors" (§2.1.1).
+MAX_DEPENDENCY_DISTANCE = 512
+
+#: History placeholder used before k blocks have executed.
+START_BLOCK = -1
+
+Context = Tuple[int, ...]
+History = Tuple[int, ...]
+
+
+class ContextStats:
+    """All statistics for one context (basic block + history).
+
+    Per instruction slot ``i`` of the block:
+
+    * ``iclasses[i]`` / ``n_src[i]`` — instruction type and operand count;
+    * ``dep_hists[i][p]`` — histogram of dependency distances of operand
+      ``p`` (absence of a distance means the operand had no in-range
+      producer, and its probability mass is ``occurrences - recorded``);
+    * ``il1 / l2i / itlb`` — instruction-fetch miss counts;
+    * ``dl1 / l2d / dtlb`` — load miss counts (loads only);
+    * ``taken / outcome_counts`` — the terminating branch's taken count
+      and its [correct, fetch-redirection, misprediction] counts.
+    """
+
+    __slots__ = ("occurrences", "iclasses", "n_src", "dep_hists",
+                 "waw_hists", "war_hists",
+                 "il1", "l2i", "itlb", "dl1", "l2d", "dtlb",
+                 "taken", "outcome_counts")
+
+    def __init__(self, iclasses: Sequence[IClass],
+                 n_src: Sequence[int]) -> None:
+        size = len(iclasses)
+        if size == 0:
+            raise ValueError("context must describe a non-empty block")
+        self.occurrences = 0
+        self.iclasses: List[IClass] = list(iclasses)
+        self.n_src: List[int] = list(n_src)
+        self.dep_hists: List[List[Dict[int, int]]] = [
+            [dict() for _ in range(n)] for n in n_src
+        ]
+        # WAW/WAR distance histograms per producing slot — the paper's
+        # section 2.1.1 extension for in-order execution and limited
+        # physical registers.
+        self.waw_hists: List[Dict[int, int]] = [dict() for _ in range(size)]
+        self.war_hists: List[Dict[int, int]] = [dict() for _ in range(size)]
+        self.il1 = [0] * size
+        self.l2i = [0] * size
+        self.itlb = [0] * size
+        self.dl1 = [0] * size
+        self.l2d = [0] * size
+        self.dtlb = [0] * size
+        self.taken = 0
+        self.outcome_counts = [0, 0, 0]
+
+    @property
+    def block_size(self) -> int:
+        return len(self.iclasses)
+
+    def record_dependency(self, slot: int, operand: int,
+                          distance: int) -> None:
+        """Record one observed RAW distance (saturating at the cap)."""
+        distance = min(distance, MAX_DEPENDENCY_DISTANCE)
+        hist = self.dep_hists[slot][operand]
+        hist[distance] = hist.get(distance, 0) + 1
+
+    def record_anti_dependency(self, slot: int, kind: str,
+                               distance: int) -> None:
+        """Record one observed WAW (``kind="waw"``) or WAR
+        (``kind="war"``) distance for a producing slot."""
+        distance = min(distance, MAX_DEPENDENCY_DISTANCE)
+        if kind == "waw":
+            hist = self.waw_hists[slot]
+        elif kind == "war":
+            hist = self.war_hists[slot]
+        else:
+            raise ValueError(f"kind must be 'waw' or 'war', got {kind!r}")
+        hist[distance] = hist.get(distance, 0) + 1
+
+
+class StatisticalFlowGraph:
+    """Order-k statistical flow graph.
+
+    ``contexts`` maps each (k+1)-gram of basic block ids to its
+    :class:`ContextStats`; ``transitions`` maps each k-gram history to
+    next-block counts.  ``num_nodes`` (the paper's Table 3 metric) is the
+    number of distinct contexts.
+    """
+
+    def __init__(self, order: int) -> None:
+        if order < 0:
+            raise ValueError("order must be >= 0")
+        self.order = order
+        self.contexts: Dict[Context, ContextStats] = {}
+        self.transitions: Dict[History, Dict[int, int]] = {}
+        self.total_block_executions = 0
+
+    # ------------------------------------------------------------ build
+    def context_for(self, history: Sequence[int], block: int,
+                    iclasses: Sequence[IClass],
+                    n_src: Sequence[int]) -> ContextStats:
+        """Get or create the stats record for (history, block)."""
+        key: Context = tuple(history) + (block,)
+        stats = self.contexts.get(key)
+        if stats is None:
+            stats = ContextStats(iclasses, n_src)
+            self.contexts[key] = stats
+        elif stats.block_size != len(iclasses):
+            raise ValueError(
+                f"context {key} re-observed with a different block size"
+            )
+        return stats
+
+    def record_transition(self, history: Sequence[int], block: int) -> None:
+        """Count one ``history -> block`` transition."""
+        key: History = tuple(history)
+        counts = self.transitions.get(key)
+        if counts is None:
+            counts = {}
+            self.transitions[key] = counts
+        counts[block] = counts.get(block, 0) + 1
+
+    # ---------------------------------------------------------- queries
+    @property
+    def num_nodes(self) -> int:
+        """Number of distinct contexts (the paper's Table 3 count)."""
+        return len(self.contexts)
+
+    def occurrences(self) -> Dict[Context, int]:
+        return {key: stats.occurrences
+                for key, stats in self.contexts.items()}
+
+    def transition_probability(self, history: Sequence[int],
+                               block: int) -> float:
+        """``P[block | history]`` as profiled."""
+        counts = self.transitions.get(tuple(history))
+        if not counts:
+            return 0.0
+        total = sum(counts.values())
+        return counts.get(block, 0) / total
+
+    def validate(self) -> None:
+        """Check internal consistency (testing aid).
+
+        * context occurrences sum to the total block executions;
+        * every context's history matches its key length (order + 1);
+        * recorded per-slot miss counts never exceed occurrences.
+        """
+        total = sum(s.occurrences for s in self.contexts.values())
+        if total != self.total_block_executions:
+            raise AssertionError("occurrence mass mismatch")
+        for key, stats in self.contexts.items():
+            if len(key) != self.order + 1:
+                raise AssertionError(f"bad context arity: {key}")
+            for slot in range(stats.block_size):
+                for counter in (stats.il1, stats.l2i, stats.itlb,
+                                stats.dl1, stats.l2d, stats.dtlb):
+                    if counter[slot] > stats.occurrences:
+                        raise AssertionError("miss count exceeds visits")
+            if sum(stats.outcome_counts) > stats.occurrences:
+                raise AssertionError("branch outcome count exceeds visits")

@@ -1,0 +1,64 @@
+"""Simulation result container: the metrics the paper reports.
+
+Besides IPC, the relative-accuracy study (Table 4) tracks RUU, LSQ and
+IFQ occupancies and per-unit activity (which the Wattch-style power model
+turns into per-unit energy), so the result carries all of them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one pipeline simulation."""
+
+    cycles: int
+    instructions: int
+    avg_ruu_occupancy: float
+    avg_lsq_occupancy: float
+    avg_ifq_occupancy: float
+    activity: Dict[str, int] = field(default_factory=dict)
+    branches: int = 0
+    taken_branches: int = 0
+    fetch_redirections: int = 0
+    branch_mispredictions: int = 0
+    squashed_instructions: int = 0
+
+    @property
+    def ipc(self) -> float:
+        """Instructions retired per cycle."""
+        if self.cycles == 0:
+            return 0.0
+        return self.instructions / self.cycles
+
+    @property
+    def cpi(self) -> float:
+        if self.instructions == 0:
+            return float("inf")
+        return self.cycles / self.instructions
+
+    @property
+    def execution_bandwidth(self) -> float:
+        """Instructions issued to functional units per cycle (includes
+        squashed wrong-path work, as real execution bandwidth does)."""
+        if self.cycles == 0:
+            return 0.0
+        return self.activity.get("issue", 0) / self.cycles
+
+    @property
+    def mispredictions_per_kilo_instruction(self) -> float:
+        if self.instructions == 0:
+            return 0.0
+        return 1000.0 * self.branch_mispredictions / self.instructions
+
+    def occupancy(self, unit: str) -> float:
+        """Average occupancy of ``"ruu"``, ``"lsq"`` or ``"ifq"``."""
+        try:
+            return {"ruu": self.avg_ruu_occupancy,
+                    "lsq": self.avg_lsq_occupancy,
+                    "ifq": self.avg_ifq_occupancy}[unit]
+        except KeyError:
+            raise ValueError(f"unknown occupancy unit {unit!r}") from None

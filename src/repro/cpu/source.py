@@ -1,0 +1,277 @@
+"""Instruction sources: how the pipeline learns each instruction's
+latencies, dependencies and branch outcome.
+
+A :class:`FetchSlot` is the pipeline's view of one instruction — class,
+execution latency, fetch stall, RAW dependency distances and branch
+outcome — deliberately identical for real and synthetic instructions.
+The :class:`ExecutionDrivenSource` computes slots from a dynamic trace
+with live caches and a live branch predictor (the reference simulator);
+the :class:`PreannotatedSource` replays slots that the synthetic trace
+generator annotated in advance (the statistical simulator, which per the
+paper "does not need to model branch predictors nor caches").
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Protocol, Sequence, Tuple
+
+from repro.config import MachineConfig
+from repro.isa.iclass import IClass, execution_latency, functional_unit
+from repro.frontend.trace import Trace
+from repro.branch.unit import BranchOutcome, BranchPredictorUnit
+from repro.cache.hierarchy import CacheHierarchy
+
+#: Dependency distances beyond this horizon cannot constrain any
+#: realistic instruction window; the paper caps the dependency-distance
+#: distribution at 512 for the same reason (section 2.1.1).
+MAX_DEPENDENCY_DISTANCE = 512
+
+
+class FetchSlot:
+    """Everything the pipeline needs to know about one instruction."""
+
+    __slots__ = (
+        "iclass",
+        "fu",
+        "exec_latency",
+        "fetch_stall",
+        "dep_distances",
+        "is_branch",
+        "is_load",
+        "is_store",
+        "taken",
+        "outcome",
+        "il1_miss",
+        "l2i_miss",
+        "dl1_miss",
+        "l2d_miss",
+        "itlb_miss",
+        "dtlb_miss",
+        "raw",
+    )
+
+    def __init__(
+        self,
+        iclass: IClass,
+        exec_latency: int,
+        fetch_stall: int = 0,
+        dep_distances: Tuple[int, ...] = (),
+        taken: bool = False,
+        outcome: Optional[BranchOutcome] = None,
+        il1_miss: bool = False,
+        l2i_miss: bool = False,
+        dl1_miss: bool = False,
+        l2d_miss: bool = False,
+        itlb_miss: bool = False,
+        dtlb_miss: bool = False,
+        raw: object = None,
+    ) -> None:
+        self.iclass = iclass
+        self.fu = functional_unit(iclass)
+        self.exec_latency = exec_latency
+        self.fetch_stall = fetch_stall
+        self.dep_distances = dep_distances
+        self.is_branch = iclass in (IClass.INT_COND_BRANCH,
+                                    IClass.FP_COND_BRANCH,
+                                    IClass.INDIRECT_BRANCH)
+        self.is_load = iclass is IClass.LOAD
+        self.is_store = iclass is IClass.STORE
+        self.taken = taken
+        self.outcome = outcome
+        self.il1_miss = il1_miss
+        self.l2i_miss = l2i_miss
+        self.dl1_miss = dl1_miss
+        self.l2d_miss = l2d_miss
+        self.itlb_miss = itlb_miss
+        self.dtlb_miss = dtlb_miss
+        self.raw = raw
+
+
+class InstructionSource(Protocol):
+    """Protocol the pipeline's fetch engine drives."""
+
+    def fetch(self) -> Optional[FetchSlot]:
+        """Consume and resolve the next correct-path instruction, or
+        return None when the stream is exhausted."""
+        ...
+
+    def peek_filler(self, offset: int) -> Optional[FetchSlot]:
+        """Return a wrong-path filler slot *offset* instructions ahead
+        without consuming the stream or touching locality state."""
+        ...
+
+    def on_dispatch(self, slot: FetchSlot) -> None:
+        """Notification that *slot* reached dispatch (used by the
+        execution-driven source for speculative predictor update)."""
+        ...
+
+
+def _filler_slot(iclass: IClass) -> FetchSlot:
+    """A wrong-path filler: occupies fetch/window/FU resources with the
+    class's base latency, but carries no dependencies, no locality events
+    and an inert branch outcome.  Both simulators use the same rule, per
+    DESIGN.md (the paper injects wrong-path instructions purely "to model
+    resource contention")."""
+    return FetchSlot(iclass=iclass, exec_latency=execution_latency(iclass))
+
+
+class ExecutionDrivenSource:
+    """Resolves a dynamic trace with live locality structures.
+
+    Per fetched instruction it:
+
+    * runs the I-cache/I-TLB access and converts misses to fetch stalls;
+    * runs loads and stores through the D-cache hierarchy (loads get the
+      resulting latency);
+    * classifies branches against the live predictor *without* training
+      it — training happens at dispatch via :meth:`on_dispatch`, giving
+      the dispatch-time speculative update the paper assumes;
+    * computes the RAW dependency distance of every source operand (the
+      same definition the statistical profiler uses).
+    """
+
+    def __init__(self, trace: Trace, config: MachineConfig,
+                 perfect_caches: bool = False,
+                 perfect_branch_prediction: bool = False,
+                 hierarchy: Optional[CacheHierarchy] = None,
+                 predictor: Optional[BranchPredictorUnit] = None) -> None:
+        self.trace = trace
+        self.config = config
+        self.perfect_caches = perfect_caches
+        self.perfect_branch_prediction = perfect_branch_prediction
+        # Callers may inject pre-warmed locality structures (e.g. the
+        # SimPoint baseline warms them on the instructions preceding a
+        # representative interval).
+        self.hierarchy = hierarchy or CacheHierarchy(config)
+        self.predictor = predictor or BranchPredictorUnit(config.predictor)
+        self._instructions = trace.instructions
+        self._pos = 0
+        self._last_writer: dict = {}
+        self._last_reader: dict = {}
+
+    def __len__(self) -> int:
+        return len(self._instructions)
+
+    def fetch(self) -> Optional[FetchSlot]:
+        instructions = self._instructions
+        if self._pos >= len(instructions):
+            return None
+        inst = instructions[self._pos]
+        self._pos += 1
+
+        fetch_stall = 0
+        il1_miss = l2i_miss = itlb_miss = False
+        if not self.perfect_caches:
+            iresult = self.hierarchy.access_instruction(inst.pc)
+            fetch_stall = self.hierarchy.fetch_stall(iresult)
+            il1_miss = iresult.il1_miss
+            l2i_miss = iresult.l2_miss
+            itlb_miss = iresult.itlb_miss
+
+        dep_distances = []
+        last_writer = self._last_writer
+        last_reader = self._last_reader
+        anti = self.config.enforce_anti_dependencies
+        seq = inst.seq
+        for reg in inst.src_regs:
+            writer = last_writer.get(reg)
+            if writer is not None:
+                distance = seq - writer
+                if 0 < distance <= MAX_DEPENDENCY_DISTANCE:
+                    dep_distances.append(distance)
+            if anti:
+                last_reader[reg] = seq
+        if inst.dst_reg is not None:
+            if anti:
+                # Without register renaming, a write must wait for the
+                # previous writer (WAW) and previous readers (WAR) of
+                # its destination register.
+                for prior in (last_writer.get(inst.dst_reg),
+                              last_reader.get(inst.dst_reg)):
+                    if prior is not None:
+                        distance = seq - prior
+                        if 0 < distance <= MAX_DEPENDENCY_DISTANCE:
+                            dep_distances.append(distance)
+            last_writer[inst.dst_reg] = seq
+
+        latency = execution_latency(inst.iclass)
+        dl1_miss = l2d_miss = dtlb_miss = False
+        if inst.mem_addr is not None and not self.perfect_caches:
+            dresult = self.hierarchy.access_data(inst.mem_addr,
+                                                 is_store=inst.is_store)
+            if inst.is_load:
+                latency = self.hierarchy.load_latency(dresult)
+                dl1_miss = dresult.dl1_miss
+                l2d_miss = dresult.l2_miss
+                dtlb_miss = dresult.dtlb_miss
+        elif inst.is_load and self.perfect_caches:
+            latency = self.config.dl1.hit_latency
+
+        taken = False
+        outcome: Optional[BranchOutcome] = None
+        if inst.is_branch:
+            taken = inst.taken
+            if self.perfect_branch_prediction:
+                outcome = BranchOutcome.CORRECT
+            else:
+                outcome = self.predictor.classify(inst)
+
+        return FetchSlot(
+            iclass=inst.iclass,
+            exec_latency=latency,
+            fetch_stall=fetch_stall,
+            dep_distances=tuple(dep_distances),
+            taken=taken,
+            outcome=outcome,
+            il1_miss=il1_miss,
+            l2i_miss=l2i_miss,
+            dl1_miss=dl1_miss,
+            l2d_miss=l2d_miss,
+            itlb_miss=itlb_miss,
+            dtlb_miss=dtlb_miss,
+            raw=inst,
+        )
+
+    def peek_filler(self, offset: int) -> Optional[FetchSlot]:
+        instructions = self._instructions
+        if not instructions:
+            return None
+        index = (self._pos + offset) % len(instructions)
+        return _filler_slot(instructions[index].iclass)
+
+    def on_dispatch(self, slot: FetchSlot) -> None:
+        if (slot.is_branch and slot.raw is not None
+                and not self.perfect_branch_prediction):
+            self.predictor.train(slot.raw)
+
+
+class PreannotatedSource:
+    """Replays pre-resolved fetch slots (the synthetic-trace simulator).
+
+    All locality and branch outcomes were assigned during synthetic trace
+    generation (paper section 2.2, steps 5-7), so this source holds no
+    caches and no predictor.
+    """
+
+    def __init__(self, slots: Sequence[FetchSlot]) -> None:
+        self._slots: List[FetchSlot] = list(slots)
+        self._pos = 0
+
+    def __len__(self) -> int:
+        return len(self._slots)
+
+    def fetch(self) -> Optional[FetchSlot]:
+        if self._pos >= len(self._slots):
+            return None
+        slot = self._slots[self._pos]
+        self._pos += 1
+        return slot
+
+    def peek_filler(self, offset: int) -> Optional[FetchSlot]:
+        if not self._slots:
+            return None
+        index = (self._pos + offset) % len(self._slots)
+        return _filler_slot(self._slots[index].iclass)
+
+    def on_dispatch(self, slot: FetchSlot) -> None:
+        return None

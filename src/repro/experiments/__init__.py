@@ -1,0 +1,41 @@
+"""Experiment harnesses: one module per table/figure of the paper.
+
+Every module exposes a ``run(scale=...)`` function returning structured
+rows plus a ``format_table(rows)`` helper; ``benchmarks/`` wraps these in
+pytest-benchmark targets that print the same rows the paper reports.
+
+| Module                  | Paper result                                   |
+|-------------------------|------------------------------------------------|
+| ``table1_baseline``     | Table 1 — baseline IPC per benchmark           |
+| ``fig3_branch_profiling``| Fig. 3 — mispredictions/1K insn, 3 scenarios  |
+| ``fig4_sfg_order``      | Fig. 4 — IPC error vs SFG order k              |
+| ``table3_sfg_size``     | Table 3 — SFG node count vs k                  |
+| ``fig5_delayed_update`` | Fig. 5 — delayed vs immediate profiling        |
+| ``fig6_absolute``       | Fig. 6 — absolute IPC/EPC (and EDP) accuracy   |
+| ``sec41_convergence``   | §4.1 — CoV of IPC vs synthetic trace length    |
+| ``fig7_hls``            | Fig. 7 — HLS vs SMART-HLS                      |
+| ``fig8_phases``         | Fig. 8 — program phases and SimPoint           |
+| ``table4_relative``     | Table 4 — relative accuracy across sweeps      |
+| ``sec46_design_space``  | §4.6 — EDP design-space exploration            |
+| ``speedup``             | §4.1 — wall-clock speedup per design point     |
+| ``ablation_workload_models`` | §5 — workload-model structure spectrum    |
+| ``ablation_fifo_size``  | §2.1.3 — delayed-update FIFO sizing            |
+| ``ablation_reduction``  | §2.2 — reduction factor R trade-off            |
+| ``extension_inorder``   | §2.1.1 future work — WAW/WAR, in-order issue   |
+"""
+
+from repro.experiments.common import (
+    DEFAULT_SCALE,
+    QUICK_SCALE,
+    ExperimentScale,
+    prepare_benchmark,
+    prepare_suite,
+)
+
+__all__ = [
+    "ExperimentScale",
+    "DEFAULT_SCALE",
+    "QUICK_SCALE",
+    "prepare_benchmark",
+    "prepare_suite",
+]

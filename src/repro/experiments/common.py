@@ -1,0 +1,119 @@
+"""Shared experiment plumbing: scales, prepared workloads, formatting.
+
+The paper simulates 100M-instruction SimPoint samples of SPEC binaries;
+our substrate is a pure-Python simulator, so experiments run on scaled
+windows (tens of thousands of instructions, see DESIGN.md).  An
+:class:`ExperimentScale` bundles the scaling knobs so every experiment
+can be run quick (CI-sized) or full (paper-shaped).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Sequence, Tuple
+
+from repro.config import MachineConfig, baseline_config
+from repro.frontend.trace import Trace
+from repro.frontend.warming import run_program_with_warmup
+from repro.workloads.spec import benchmark_names, build_benchmark
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Scaling knobs for one experiment run.
+
+    ``warmup`` instructions bring each workload's behaviour and the
+    locality structures to steady state (the paper skips 1B
+    instructions); ``reference`` instructions form the measurement
+    window (the paper's 100M samples); ``reduction_factor`` is the
+    synthetic trace reduction factor R; ``seeds`` are the synthesis
+    seeds averaged per estimate.
+    """
+
+    warmup: int = 40_000
+    reference: int = 60_000
+    reduction_factor: float = 6.0
+    seeds: Tuple[int, ...] = (0, 1, 2)
+    benchmarks: Tuple[str, ...] = field(
+        default_factory=lambda: tuple(benchmark_names()))
+
+    def with_benchmarks(self, names: Sequence[str]) -> "ExperimentScale":
+        return replace(self, benchmarks=tuple(names))
+
+
+DEFAULT_SCALE = ExperimentScale()
+
+#: A CI-sized scale: one third the window, two seeds, five benchmarks
+#: spanning the suite's personality range.
+QUICK_SCALE = ExperimentScale(
+    warmup=20_000,
+    reference=20_000,
+    reduction_factor=4.0,
+    seeds=(0, 1),
+    benchmarks=("bzip2", "eon", "gzip", "parser", "twolf"),
+)
+
+
+def bench_scale() -> ExperimentScale:
+    """Scale used by the benchmark harness: QUICK by default, DEFAULT
+    when the environment sets ``REPRO_BENCH_SCALE=full``."""
+    if os.environ.get("REPRO_BENCH_SCALE", "").lower() == "full":
+        return DEFAULT_SCALE
+    return QUICK_SCALE
+
+
+def prepare_benchmark(name: str,
+                      scale: ExperimentScale) -> Tuple[Trace, Trace]:
+    """Return ``(warmup_trace, reference_trace)`` for one workload."""
+    program = build_benchmark(name)
+    return run_program_with_warmup(program, warmup=scale.warmup,
+                                   n_instructions=scale.reference)
+
+
+def prepare_suite(scale: ExperimentScale
+                  ) -> Dict[str, Tuple[Trace, Trace]]:
+    """Prepared (warmup, reference) windows for every scale benchmark."""
+    return {name: prepare_benchmark(name, scale)
+            for name in scale.benchmarks}
+
+
+def suite_config() -> MachineConfig:
+    """The Table 2 baseline configuration."""
+    return baseline_config()
+
+
+def format_table(headers: Sequence[str],
+                 rows: Sequence[Sequence[object]]) -> str:
+    """Render rows as a fixed-width text table for bench output."""
+    def fmt(value: object) -> str:
+        if isinstance(value, float):
+            return f"{value:.3f}"
+        return str(value)
+
+    text_rows = [[fmt(v) for v in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in text_rows)) if text_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in text_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def geometric_spread(values: Sequence[float]) -> float:
+    """max/min ratio (used to sanity-check IPC spread in tests)."""
+    lo, hi = min(values), max(values)
+    if lo <= 0:
+        raise ValueError("values must be positive")
+    return hi / lo
+
+
+def mean(values: Sequence[float]) -> float:
+    if not values:
+        raise ValueError("empty sequence")
+    return sum(values) / len(values)

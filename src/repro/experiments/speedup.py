@@ -1,0 +1,93 @@
+"""Section 4.1 — simulation speed: how much faster is statistical
+simulation?
+
+The paper reports 100x–1,000x speedups for 100M-instruction samples
+(and 10,000x–100,000x for 10B), because the synthetic trace is a
+factor R shorter and its simulator models no caches or predictors.
+Here both simulators are Python, so the wall-clock ratio directly
+reflects the work ratio.  Profiling is a one-time cost amortized over
+a design-space exploration, so the report includes the break-even
+design-point count.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List
+
+from repro.core.framework import (
+    run_execution_driven,
+    simulate_synthetic_trace,
+)
+from repro.core.profiler import profile_trace
+from repro.core.synthesis import generate_synthetic_trace
+from repro.experiments.common import (
+    DEFAULT_SCALE,
+    ExperimentScale,
+    format_table,
+    mean,
+    prepare_suite,
+    suite_config,
+)
+
+
+def run(scale: ExperimentScale = DEFAULT_SCALE) -> List[Dict]:
+    """One row per benchmark: wall-clock seconds for EDS, profiling,
+    synthesis and synthetic simulation, plus derived speedups."""
+    config = suite_config()
+    rows = []
+    for name, (warm, trace) in prepare_suite(scale).items():
+        started = time.perf_counter()
+        run_execution_driven(trace, config, warmup_trace=warm)
+        eds_seconds = time.perf_counter() - started
+
+        started = time.perf_counter()
+        profile = profile_trace(trace, config, order=1,
+                                branch_mode="delayed", warmup_trace=warm)
+        profile_seconds = time.perf_counter() - started
+
+        started = time.perf_counter()
+        synthetic = generate_synthetic_trace(
+            profile, scale.reduction_factor, seed=0)
+        synthesis_seconds = time.perf_counter() - started
+
+        started = time.perf_counter()
+        simulate_synthetic_trace(synthetic, config)
+        ss_seconds = time.perf_counter() - started
+
+        per_point_speedup = eds_seconds / max(ss_seconds, 1e-9)
+        one_time = profile_seconds + synthesis_seconds
+        # Design points after which SS (profile once, simulate cheap)
+        # beats repeating EDS per point.
+        saved_per_point = eds_seconds - ss_seconds
+        breakeven = (one_time / saved_per_point
+                     if saved_per_point > 0 else float("inf"))
+        rows.append({
+            "benchmark": name,
+            "eds_seconds": eds_seconds,
+            "profile_seconds": profile_seconds,
+            "synthesis_seconds": synthesis_seconds,
+            "ss_seconds": ss_seconds,
+            "synthetic_instructions": len(synthetic),
+            "per_point_speedup": per_point_speedup,
+            "breakeven_points": breakeven,
+        })
+    return rows
+
+
+def format_rows(rows: List[Dict]) -> str:
+    table = format_table(
+        ["benchmark", "EDS s", "profile s", "SS sim s",
+         "speedup/point", "break-even pts"],
+        [(r["benchmark"], r["eds_seconds"], r["profile_seconds"],
+          r["ss_seconds"], f"{r['per_point_speedup']:.1f}x",
+          f"{r['breakeven_points']:.1f}") for r in rows],
+    )
+    footer = (f"mean per-design-point speedup: "
+              f"{mean([r['per_point_speedup'] for r in rows]):.1f}x "
+              f"at R = (reference / synthetic) length ratio")
+    return table + "\n" + footer
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(format_rows(run()))

@@ -1,0 +1,47 @@
+"""Table 1 — baseline IPC of every benchmark on the Table 2 machine.
+
+The paper's Table 1 lists per-benchmark baseline IPC between 0.51
+(crafty) and 1.94 (gzip); the reproduction target is a comparable
+spread with the streaming compressors fastest and the branchy /
+memory-bound workloads slowest.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.framework import run_execution_driven
+from repro.experiments.common import (
+    DEFAULT_SCALE,
+    ExperimentScale,
+    format_table,
+    prepare_suite,
+    suite_config,
+)
+
+
+def run(scale: ExperimentScale = DEFAULT_SCALE) -> List[Dict]:
+    """Return one row per benchmark: name, IPC, mispredictions/1K."""
+    config = suite_config()
+    rows = []
+    for name, (warm, trace) in prepare_suite(scale).items():
+        result, power = run_execution_driven(trace, config,
+                                             warmup_trace=warm)
+        rows.append({
+            "benchmark": name,
+            "ipc": result.ipc,
+            "epc": power.total,
+            "mpki": result.mispredictions_per_kilo_instruction,
+        })
+    return rows
+
+
+def format_rows(rows: List[Dict]) -> str:
+    return format_table(
+        ["benchmark", "IPC", "EPC (W/cycle)", "mispredicts/1K"],
+        [(r["benchmark"], r["ipc"], r["epc"], r["mpki"]) for r in rows],
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(format_rows(run()))

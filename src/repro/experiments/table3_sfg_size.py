@@ -1,0 +1,54 @@
+"""Table 3 — the number of nodes in the SFG as a function of its order.
+
+Reproduction target: node counts grow with k, and the per-benchmark
+ordering tracks static code size (gcc largest, vpr smallest), as in the
+paper's Table 3.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.profiler import profile_trace
+from repro.experiments.common import (
+    DEFAULT_SCALE,
+    ExperimentScale,
+    format_table,
+    prepare_suite,
+    suite_config,
+)
+
+DEFAULT_ORDERS: Tuple[int, ...] = (0, 1, 2, 3)
+
+
+def run(scale: ExperimentScale = DEFAULT_SCALE,
+        orders: Sequence[int] = DEFAULT_ORDERS) -> List[Dict]:
+    """One row per benchmark: SFG node count per order k.
+
+    Only the microarchitecture-independent part of the profile matters
+    here, so profiling runs with perfect caches and branches for speed.
+    """
+    config = suite_config()
+    rows = []
+    for name, (warm, trace) in prepare_suite(scale).items():
+        counts = {}
+        for order in orders:
+            profile = profile_trace(trace, config, order=order,
+                                    branch_mode="perfect",
+                                    perfect_caches=True)
+            counts[order] = profile.num_nodes
+        rows.append({"benchmark": name, "nodes": counts})
+    return rows
+
+
+def format_rows(rows: List[Dict]) -> str:
+    orders = sorted(rows[0]["nodes"])
+    return format_table(
+        ["benchmark"] + [f"k={k}" for k in orders],
+        [[row["benchmark"]] + [row["nodes"][k] for k in orders]
+         for row in rows],
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(format_rows(run()))

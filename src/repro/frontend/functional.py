@@ -1,0 +1,129 @@
+"""Functional simulator: interprets a program's CFG into a dynamic trace.
+
+The simulator walks the control-flow graph from the entry block.  Each
+block's terminating branch asks the block's branch behaviour for an
+outcome (taken / not-taken, or an indirect target), and each memory
+instruction asks its memory stream for an effective address.  The result
+is a deterministic stream of :class:`~repro.isa.instruction.DynamicInstruction`.
+
+There is no notion of program exit: workloads are steady-state kernels and
+the caller chooses the dynamic instruction count, exactly as the paper
+simulates fixed-size samples (100M instructions per SimPoint).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.isa.iclass import IClass
+from repro.isa.instruction import DynamicInstruction
+from repro.isa.program import Program
+from repro.frontend.trace import Trace
+
+
+class FunctionalSimulator:
+    """Executes a :class:`Program`, yielding dynamic instructions.
+
+    The simulator owns no microarchitectural state — branch predictors and
+    caches are separate observers (:mod:`repro.branch`, :mod:`repro.cache`)
+    driven by the emitted trace, mirroring the paper's extended
+    ``sim-bpred`` / ``sim-cache`` profiling tools.
+    """
+
+    def __init__(self, program: Program) -> None:
+        self.program = program
+        self.reset()
+
+    def reset(self) -> None:
+        """Restart execution from the entry block with fresh behaviours."""
+        self._current = self.program.entry
+        self._index = 0
+        self._seq = 0
+        for behavior in self.program.branch_behaviors:
+            behavior.reset()
+        for stream in self.program.memory_streams:
+            stream.reset()
+
+    def run(self, n_instructions: int) -> Iterator[DynamicInstruction]:
+        """Yield the next *n_instructions* dynamic instructions.
+
+        Execution state (block, intra-block position, behaviour state)
+        persists across calls, so consecutive ``run`` calls produce one
+        contiguous stream.
+        """
+        program = self.program
+        blocks = program.blocks
+        behaviors = program.branch_behaviors
+        streams = program.memory_streams
+        emitted = 0
+        while emitted < n_instructions:
+            block = blocks[self._current]
+            instructions = block.instructions
+            last = len(instructions) - 1
+            index = self._index
+            static = instructions[index]
+            pc = block.address + index * 8
+            mem_addr: Optional[int] = None
+            if static.mem_stream is not None:
+                mem_addr = streams[static.mem_stream].next_address()
+            if index == last:
+                behavior = behaviors[block.branch_behavior]
+                if static.iclass is IClass.INDIRECT_BRANCH:
+                    target_idx = behavior.next_target()
+                    next_bb = block.indirect_targets[target_idx]
+                    taken = True
+                else:
+                    taken = behavior.next_taken()
+                    next_bb = (block.taken_target if taken
+                               else block.fallthrough)
+                dyn = DynamicInstruction(
+                    self._seq, pc, static.iclass, block.bb_id,
+                    src_regs=static.src_regs, dst_reg=None,
+                    mem_addr=None, taken=taken,
+                    target=blocks[next_bb].address,
+                )
+                self._current = next_bb
+                self._index = 0
+            else:
+                dyn = DynamicInstruction(
+                    self._seq, pc, static.iclass, block.bb_id,
+                    src_regs=static.src_regs, dst_reg=static.dst_reg,
+                    mem_addr=mem_addr,
+                )
+                self._index = index + 1
+            self._seq += 1
+            emitted += 1
+            yield dyn
+
+
+def run_program(program: Program, n_instructions: int,
+                warmup: int = 0) -> Trace:
+    """Execute *program* and return a :class:`Trace`.
+
+    Parameters
+    ----------
+    program:
+        The workload to execute.
+    n_instructions:
+        Dynamic instructions to record.
+    warmup:
+        Instructions to execute and discard first (the paper skips the
+        first 1B instructions in its phase experiments).  The warmup is
+        extended to the next basic-block boundary so the recorded trace
+        starts with a complete block.
+    """
+    sim = FunctionalSimulator(program)
+    if warmup:
+        discarded = None
+        for discarded in sim.run(warmup):
+            pass
+        while discarded is not None and not discarded.is_branch:
+            for discarded in sim.run(1):
+                pass
+    instructions = list(sim.run(n_instructions))
+    # Renumber so trace sequence numbers start at zero even after warmup;
+    # dependency-distance profiling relies on dense 0-based numbering.
+    if warmup:
+        for offset, inst in enumerate(instructions):
+            inst.seq = offset
+    return Trace(name=program.name, instructions=instructions)

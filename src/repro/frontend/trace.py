@@ -1,0 +1,87 @@
+"""Dynamic-trace container and interval utilities."""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterator, List, Sequence
+
+from repro.isa.iclass import BRANCH_CLASSES, IClass
+from repro.isa.instruction import DynamicInstruction
+
+
+class Trace:
+    """A dynamic instruction stream plus convenience statistics.
+
+    Traces are produced by the functional simulator and consumed by
+    profiling, execution-driven simulation and the SimPoint baseline.
+    """
+
+    def __init__(self, name: str,
+                 instructions: List[DynamicInstruction]) -> None:
+        self.name = name
+        self.instructions = instructions
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __iter__(self) -> Iterator[DynamicInstruction]:
+        return iter(self.instructions)
+
+    def __getitem__(self, index):
+        return self.instructions[index]
+
+    @property
+    def num_branches(self) -> int:
+        return sum(1 for inst in self.instructions
+                   if inst.iclass in BRANCH_CLASSES)
+
+    @property
+    def num_loads(self) -> int:
+        return sum(1 for inst in self.instructions
+                   if inst.iclass is IClass.LOAD)
+
+    def instruction_mix(self) -> Dict[IClass, float]:
+        """Fraction of the trace in each instruction class."""
+        counts = Counter(inst.iclass for inst in self.instructions)
+        total = len(self.instructions)
+        return {iclass: counts[iclass] / total for iclass in counts}
+
+    def basic_block_sequence(self) -> List[int]:
+        """The executed basic-block id sequence (one entry per block
+        execution, delimited by branch instructions)."""
+        sequence = []
+        for inst in self.instructions:
+            if inst.iclass in BRANCH_CLASSES:
+                sequence.append(inst.bb_id)
+        return sequence
+
+    def basic_block_counts(self) -> Counter:
+        """Execution count per basic block."""
+        return Counter(self.basic_block_sequence())
+
+
+def split_intervals(trace: Trace, interval: int) -> List[Trace]:
+    """Split a trace into fixed-size intervals (for phase analysis and
+    SimPoint basic-block vectors).  The final partial interval, if any,
+    is dropped — matching SimPoint's fixed-length intervals.
+    """
+    if interval <= 0:
+        raise ValueError("interval must be positive")
+    pieces: List[Trace] = []
+    insts = trace.instructions
+    for start in range(0, len(insts) - interval + 1, interval):
+        pieces.append(
+            Trace(name=f"{trace.name}[{start}:{start + interval}]",
+                  instructions=insts[start:start + interval])
+        )
+    return pieces
+
+
+def concat_traces(name: str, traces: Sequence[Trace]) -> Trace:
+    """Concatenate traces into one (sequence numbers are rewritten)."""
+    instructions: List[DynamicInstruction] = []
+    for piece in traces:
+        instructions.extend(piece.instructions)
+    for seq, inst in enumerate(instructions):
+        inst.seq = seq
+    return Trace(name=name, instructions=instructions)

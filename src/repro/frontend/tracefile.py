@@ -1,0 +1,83 @@
+"""Saving and loading dynamic traces.
+
+Profiling tools in the paper's ecosystem are either execution-driven or
+"trace-driven tools operating on an execution trace that is stored on a
+disk" (section 2.1.2).  This module provides the stored-trace path: a
+compact binary format for :class:`~repro.frontend.trace.Trace` objects,
+so expensive functional simulations can be captured once and replayed
+into profiling, simulation or external tools.
+
+Format (version 1): a JSON header line (name, count, version) followed
+by fixed-width little-endian records, one per instruction:
+
+    seq:u32  pc:u64  iclass:u8  bb:u32  n_src:u8  src[4]:u8
+    has_dst:u8  dst:u8  has_mem:u8  mem:u64  taken:u8  target:u64
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from pathlib import Path
+from typing import List, Union
+
+from repro.isa.iclass import IClass
+from repro.isa.instruction import DynamicInstruction
+from repro.frontend.trace import Trace
+
+FORMAT_VERSION = 1
+_RECORD = struct.Struct("<IQBIB4sBBBQBQ")
+_MAX_SRC = 4
+
+
+def save_trace(trace: Trace, path: Union[str, Path]) -> None:
+    """Write *trace* to *path* in the binary trace format."""
+    header = json.dumps({"version": FORMAT_VERSION, "name": trace.name,
+                         "count": len(trace)})
+    with open(path, "wb") as handle:
+        handle.write(header.encode("utf-8") + b"\n")
+        pack = _RECORD.pack
+        for inst in trace.instructions:
+            n_src = len(inst.src_regs)
+            if n_src > _MAX_SRC:
+                raise ValueError(
+                    f"instruction with {n_src} sources exceeds the "
+                    f"format's limit of {_MAX_SRC}")
+            src = bytes(inst.src_regs) + b"\x00" * (_MAX_SRC - n_src)
+            handle.write(pack(
+                inst.seq, inst.pc, int(inst.iclass), inst.bb_id,
+                n_src, src,
+                inst.dst_reg is not None, inst.dst_reg or 0,
+                inst.mem_addr is not None, inst.mem_addr or 0,
+                inst.taken, inst.target,
+            ))
+
+
+def load_trace(path: Union[str, Path]) -> Trace:
+    """Load a trace previously written by :func:`save_trace`."""
+    with open(path, "rb") as handle:
+        header = json.loads(handle.readline().decode("utf-8"))
+        if header.get("version") != FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported trace format {header.get('version')!r}")
+        count = header["count"]
+        instructions: List[DynamicInstruction] = []
+        unpack = _RECORD.unpack
+        size = _RECORD.size
+        payload = handle.read()
+    if len(payload) != count * size:
+        raise ValueError(
+            f"truncated trace file: expected {count * size} payload "
+            f"bytes, found {len(payload)}")
+    for index in range(count):
+        (seq, pc, iclass, bb_id, n_src, src, has_dst, dst, has_mem,
+         mem, taken, target) = unpack(
+            payload[index * size:(index + 1) * size])
+        instructions.append(DynamicInstruction(
+            seq=seq, pc=pc, iclass=IClass(iclass), bb_id=bb_id,
+            src_regs=tuple(src[:n_src]),
+            dst_reg=dst if has_dst else None,
+            mem_addr=mem if has_mem else None,
+            taken=bool(taken), target=target,
+        ))
+    return Trace(name=header["name"], instructions=instructions)

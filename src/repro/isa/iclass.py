@@ -1,0 +1,127 @@
+"""The 12 semantic instruction classes of the paper (section 2.1.1).
+
+The paper classifies instructions into: load, store, integer conditional
+branch, floating-point conditional branch, indirect branch, integer alu,
+integer multiply, integer divide, floating-point alu, floating-point
+multiply, floating-point divide and floating-point square root.
+
+Each class maps to a functional-unit kind and an execution latency,
+mirroring SimpleScalar's resource model (Table 2 of the paper lists the
+functional-unit pool; latencies follow sim-outorder's defaults).
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class IClass(enum.IntEnum):
+    """Semantic instruction class (12 classes, paper section 2.1.1)."""
+
+    LOAD = 0
+    STORE = 1
+    INT_COND_BRANCH = 2
+    FP_COND_BRANCH = 3
+    INDIRECT_BRANCH = 4
+    INT_ALU = 5
+    INT_MULT = 6
+    INT_DIV = 7
+    FP_ALU = 8
+    FP_MULT = 9
+    FP_DIV = 10
+    FP_SQRT = 11
+
+
+#: Classes that terminate a basic block.
+BRANCH_CLASSES = frozenset(
+    {IClass.INT_COND_BRANCH, IClass.FP_COND_BRANCH, IClass.INDIRECT_BRANCH}
+)
+
+#: Branches with a taken / not-taken direction to predict.
+CONDITIONAL_BRANCH_CLASSES = frozenset(
+    {IClass.INT_COND_BRANCH, IClass.FP_COND_BRANCH}
+)
+
+#: Classes that access the data memory hierarchy.
+MEMORY_CLASSES = frozenset({IClass.LOAD, IClass.STORE})
+
+#: Classes that produce a register value.  Branches and stores have no
+#: destination operand; the synthetic-trace generator must never create a
+#: dependency on them (paper section 2.2, step 4).
+PRODUCING_CLASSES = frozenset(
+    {
+        IClass.LOAD,
+        IClass.INT_ALU,
+        IClass.INT_MULT,
+        IClass.INT_DIV,
+        IClass.FP_ALU,
+        IClass.FP_MULT,
+        IClass.FP_DIV,
+        IClass.FP_SQRT,
+    }
+)
+
+
+class FunctionalUnit(enum.IntEnum):
+    """Functional-unit kinds of the baseline machine (paper Table 2)."""
+
+    INT_ALU = 0
+    LOAD_STORE = 1
+    FP_ADDER = 2
+    INT_MULT_DIV = 3
+    FP_MULT_DIV = 4
+
+
+_FU_FOR_CLASS = {
+    IClass.LOAD: FunctionalUnit.LOAD_STORE,
+    IClass.STORE: FunctionalUnit.LOAD_STORE,
+    IClass.INT_COND_BRANCH: FunctionalUnit.INT_ALU,
+    IClass.FP_COND_BRANCH: FunctionalUnit.FP_ADDER,
+    IClass.INDIRECT_BRANCH: FunctionalUnit.INT_ALU,
+    IClass.INT_ALU: FunctionalUnit.INT_ALU,
+    IClass.INT_MULT: FunctionalUnit.INT_MULT_DIV,
+    IClass.INT_DIV: FunctionalUnit.INT_MULT_DIV,
+    IClass.FP_ALU: FunctionalUnit.FP_ADDER,
+    IClass.FP_MULT: FunctionalUnit.FP_MULT_DIV,
+    IClass.FP_DIV: FunctionalUnit.FP_MULT_DIV,
+    IClass.FP_SQRT: FunctionalUnit.FP_MULT_DIV,
+}
+
+# Execution latencies (cycles spent in the functional unit), following
+# sim-outorder's default operation latencies.  Loads add memory latency
+# on top of this base (resolved by the cache hierarchy or by synthetic
+# trace annotations).
+_LATENCY_FOR_CLASS = {
+    IClass.LOAD: 1,
+    IClass.STORE: 1,
+    IClass.INT_COND_BRANCH: 1,
+    IClass.FP_COND_BRANCH: 2,
+    IClass.INDIRECT_BRANCH: 1,
+    IClass.INT_ALU: 1,
+    IClass.INT_MULT: 3,
+    IClass.INT_DIV: 20,
+    IClass.FP_ALU: 2,
+    IClass.FP_MULT: 4,
+    IClass.FP_DIV: 12,
+    IClass.FP_SQRT: 24,
+}
+
+
+def functional_unit(iclass: IClass) -> FunctionalUnit:
+    """Return the functional-unit kind that executes *iclass*."""
+    return _FU_FOR_CLASS[iclass]
+
+
+def execution_latency(iclass: IClass) -> int:
+    """Return the base execution latency in cycles for *iclass*."""
+    return _LATENCY_FOR_CLASS[iclass]
+
+
+def is_branch(iclass: IClass) -> bool:
+    """True if *iclass* terminates a basic block."""
+    return iclass in BRANCH_CLASSES
+
+
+def produces_register(iclass: IClass) -> bool:
+    """True if *iclass* writes a destination register."""
+    return iclass in PRODUCING_CLASSES

@@ -1,0 +1,148 @@
+"""Static and dynamic instruction representations.
+
+A :class:`StaticInstruction` is one slot of a basic block in a program's
+static code.  A :class:`DynamicInstruction` is one element of an executed
+instruction stream, produced by the functional simulator
+(:mod:`repro.frontend.functional`) — it carries the concrete register
+names, memory address and branch outcome that profiling and
+execution-driven simulation consume.
+
+Dynamic instructions live in traces of up to millions of elements, so the
+class uses ``__slots__`` and plain attributes rather than dataclass
+machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.isa.iclass import BRANCH_CLASSES, PRODUCING_CLASSES, IClass
+
+
+@dataclass(frozen=True)
+class StaticInstruction:
+    """One instruction slot of a basic block.
+
+    Parameters
+    ----------
+    iclass:
+        Semantic instruction class.
+    src_regs:
+        Architectural source register numbers (0..63).  The paper records
+        the *number* of source operands per instruction and a dependency
+        distance per operand; both are derived from these registers during
+        profiling.
+    dst_reg:
+        Destination register, or ``None`` for branches and stores.
+    mem_stream:
+        For loads/stores: index of the memory-stream generator (in the
+        owning program) that produces this instruction's effective
+        addresses.  ``None`` for non-memory instructions.
+    """
+
+    iclass: IClass
+    src_regs: Tuple[int, ...] = field(default=())
+    dst_reg: Optional[int] = None
+    mem_stream: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.dst_reg is not None and self.iclass not in PRODUCING_CLASSES:
+            raise ValueError(
+                f"{self.iclass.name} cannot have a destination register"
+            )
+        if self.iclass in BRANCH_CLASSES and self.dst_reg is not None:
+            raise ValueError("branches have no destination operand")
+
+    @property
+    def is_branch(self) -> bool:
+        return self.iclass in BRANCH_CLASSES
+
+    @property
+    def is_load(self) -> bool:
+        return self.iclass is IClass.LOAD
+
+    @property
+    def is_store(self) -> bool:
+        return self.iclass is IClass.STORE
+
+    @property
+    def produces_register(self) -> bool:
+        return self.dst_reg is not None
+
+
+class DynamicInstruction:
+    """One executed instruction of a dynamic trace.
+
+    Attributes
+    ----------
+    seq:
+        Dynamic sequence number (0-based position in the trace).
+    pc:
+        Instruction address (bytes).
+    iclass:
+        Semantic class.
+    bb_id:
+        Identifier of the basic block this instruction belongs to.
+    src_regs / dst_reg:
+        Architectural registers, as in :class:`StaticInstruction`.
+    mem_addr:
+        Effective address for loads/stores, else ``None``.
+    taken:
+        For branches: whether the branch was taken.
+    target:
+        For branches: the next instruction's address (fall-through or
+        branch target).
+    """
+
+    __slots__ = (
+        "seq",
+        "pc",
+        "iclass",
+        "bb_id",
+        "src_regs",
+        "dst_reg",
+        "mem_addr",
+        "taken",
+        "target",
+    )
+
+    def __init__(
+        self,
+        seq: int,
+        pc: int,
+        iclass: IClass,
+        bb_id: int,
+        src_regs: Tuple[int, ...] = (),
+        dst_reg: Optional[int] = None,
+        mem_addr: Optional[int] = None,
+        taken: bool = False,
+        target: int = 0,
+    ) -> None:
+        self.seq = seq
+        self.pc = pc
+        self.iclass = iclass
+        self.bb_id = bb_id
+        self.src_regs = src_regs
+        self.dst_reg = dst_reg
+        self.mem_addr = mem_addr
+        self.taken = taken
+        self.target = target
+
+    @property
+    def is_branch(self) -> bool:
+        return self.iclass in BRANCH_CLASSES
+
+    @property
+    def is_load(self) -> bool:
+        return self.iclass is IClass.LOAD
+
+    @property
+    def is_store(self) -> bool:
+        return self.iclass is IClass.STORE
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DynamicInstruction(seq={self.seq}, pc={self.pc:#x}, "
+            f"iclass={self.iclass.name}, bb={self.bb_id})"
+        )

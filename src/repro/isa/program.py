@@ -1,0 +1,148 @@
+"""Static program representation: basic blocks and control-flow graphs.
+
+A :class:`Program` is the unit the functional simulator executes and the
+statistical profiler characterizes.  Every basic block ends in exactly one
+branch instruction (conditional or indirect), matching the paper's basic
+block granularity: the statistical flow graph's nodes are histories of
+these blocks and the branch characteristics are recorded for the block's
+terminating branch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.isa.iclass import BRANCH_CLASSES, IClass
+from repro.isa.instruction import StaticInstruction
+
+#: Instruction size in bytes; used to lay out code addresses for I-cache
+#: and BTB behaviour.
+INSTRUCTION_BYTES = 8
+
+
+@dataclass
+class BasicBlock:
+    """A straight-line instruction sequence ending in a branch.
+
+    Parameters
+    ----------
+    bb_id:
+        Dense identifier (0-based) within the owning program.
+    address:
+        Address of the first instruction.
+    instructions:
+        The block's instructions; the final one must be a branch.
+    taken_target / fallthrough:
+        Successor block ids for conditional branches.
+    indirect_targets:
+        Successor block ids for indirect branches (chosen at run time by
+        the block's branch behaviour).
+    branch_behavior:
+        Index of the branch-behaviour generator (in the owning program)
+        that decides this block's branch outcomes.
+    """
+
+    bb_id: int
+    address: int
+    instructions: List[StaticInstruction]
+    taken_target: int = -1
+    fallthrough: int = -1
+    indirect_targets: Tuple[int, ...] = ()
+    branch_behavior: int = -1
+
+    def __post_init__(self) -> None:
+        if not self.instructions:
+            raise ValueError("basic block must contain at least one instruction")
+        if self.instructions[-1].iclass not in BRANCH_CLASSES:
+            raise ValueError("basic block must end in a branch")
+        for inst in self.instructions[:-1]:
+            if inst.iclass in BRANCH_CLASSES:
+                raise ValueError("branch in the middle of a basic block")
+
+    @property
+    def size(self) -> int:
+        """Number of instructions in the block."""
+        return len(self.instructions)
+
+    @property
+    def branch(self) -> StaticInstruction:
+        """The terminating branch instruction."""
+        return self.instructions[-1]
+
+    @property
+    def branch_pc(self) -> int:
+        """Address of the terminating branch."""
+        return self.address + (self.size - 1) * INSTRUCTION_BYTES
+
+    @property
+    def is_indirect(self) -> bool:
+        return self.branch.iclass is IClass.INDIRECT_BRANCH
+
+    def instruction_pc(self, index: int) -> int:
+        """Address of the instruction at *index* within the block."""
+        return self.address + index * INSTRUCTION_BYTES
+
+
+@dataclass
+class Program:
+    """A static control-flow graph plus its run-time behaviour generators.
+
+    The behaviour generators (branch behaviours and memory streams) are
+    supplied by :mod:`repro.workloads`; the program stores them so a
+    functional simulation is fully self-contained and reproducible.
+    """
+
+    name: str
+    blocks: List[BasicBlock]
+    entry: int = 0
+    branch_behaviors: list = field(default_factory=list)
+    memory_streams: list = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.blocks:
+            raise ValueError("program must contain at least one basic block")
+        for expected, block in enumerate(self.blocks):
+            if block.bb_id != expected:
+                raise ValueError("basic block ids must be dense and ordered")
+        n = len(self.blocks)
+        for block in self.blocks:
+            targets = [block.taken_target, block.fallthrough]
+            targets.extend(block.indirect_targets)
+            for target in targets:
+                if target >= n:
+                    raise ValueError(
+                        f"block {block.bb_id} targets unknown block {target}"
+                    )
+
+    @property
+    def num_blocks(self) -> int:
+        return len(self.blocks)
+
+    @property
+    def static_instruction_count(self) -> int:
+        return sum(block.size for block in self.blocks)
+
+    def block(self, bb_id: int) -> BasicBlock:
+        return self.blocks[bb_id]
+
+    def block_at_address(self) -> Dict[int, int]:
+        """Map from block start address to block id."""
+        return {block.address: block.bb_id for block in self.blocks}
+
+    def validate_reachability(self) -> Sequence[int]:
+        """Return the blocks reachable from the entry (sanity checking)."""
+        seen = set()
+        stack = [self.entry]
+        while stack:
+            bb_id = stack.pop()
+            if bb_id in seen or bb_id < 0:
+                continue
+            seen.add(bb_id)
+            block = self.blocks[bb_id]
+            if block.is_indirect:
+                stack.extend(block.indirect_targets)
+            else:
+                stack.append(block.taken_target)
+                stack.append(block.fallthrough)
+        return sorted(seen)

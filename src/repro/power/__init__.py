@@ -1,0 +1,17 @@
+"""Architectural power modeling (Wattch stand-in).
+
+The paper estimates on-chip power with Wattch v1.02 (0.18um, 1.2 GHz,
+aggressive cc3 clock gating).  This package provides an analytic
+activity-driven model with the same two properties the paper's results
+depend on: per-unit max power scales with structure size (so design
+sweeps move EPC the right way) and per-cycle energy scales with unit
+activity under cc3-style gating (so EPC tracks utilization).
+"""
+
+from repro.power.wattch import (
+    PowerBreakdown,
+    WattchPowerModel,
+    energy_delay_product,
+)
+
+__all__ = ["WattchPowerModel", "PowerBreakdown", "energy_delay_product"]

@@ -1,0 +1,145 @@
+"""Analytic Wattch-style power model with cc3 clock gating.
+
+Per unit, a *max power* is derived from the machine configuration using
+standard scaling rules (array power grows with entries and ports, cache
+power with capacity and associativity).  Per simulation, the unit's
+energy per cycle follows the paper's cc3 gating description:
+
+    "a unit that is unused consumes 10% of its max power and a unit that
+    is only used for a fraction x only consumes a fraction x of its max
+    power"
+
+which we apply in expectation over the run:
+``EPC_unit = Pmax * (0.1 + 0.9 * duty)`` with ``duty`` the unit's average
+per-cycle utilization (accesses per cycle over peak accesses per cycle,
+or average occupancy over capacity for storage arrays).
+
+Absolute Watts are calibrated to a plausible 0.18um/1.2GHz budget
+(~100 W peak for the Table 2 machine); the reproduction targets relative
+behaviour, not Wattch's absolute numbers.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.config import MachineConfig
+from repro.cpu.results import SimulationResult
+
+#: cc3: an unused unit still burns this fraction of its max power.
+IDLE_FRACTION = 0.1
+
+
+@dataclass(frozen=True)
+class PowerBreakdown:
+    """Energy per cycle, per unit and total (Watts at fixed frequency)."""
+
+    per_unit: Dict[str, float]
+
+    @property
+    def total(self) -> float:
+        return sum(self.per_unit.values())
+
+    def unit(self, name: str) -> float:
+        try:
+            return self.per_unit[name]
+        except KeyError:
+            raise ValueError(
+                f"unknown power unit {name!r}; known: "
+                f"{', '.join(sorted(self.per_unit))}"
+            ) from None
+
+
+class WattchPowerModel:
+    """Per-unit max powers for one machine configuration."""
+
+    def __init__(self, config: MachineConfig) -> None:
+        self.config = config
+        predictor = config.predictor
+        predictor_entries = (
+            predictor.meta_entries + predictor.bimodal_entries
+            + predictor.local_history_entries + predictor.local_pht_entries
+            + predictor.btb_entries * 2
+        )
+        self.max_power: Dict[str, float] = {
+            # Storage arrays: ~entries * sqrt(ports)
+            "ruu": 0.040 * config.ruu_size * math.sqrt(config.issue_width),
+            "lsq": 0.080 * config.lsq_size,
+            # Front end
+            "fetch": 0.15 * math.sqrt(config.ifq_size * config.fetch_width),
+            "dispatch": 0.40 * config.decode_width,
+            "bpred": 0.015 * math.sqrt(predictor_entries),
+            # Selection + wakeup grows with window and width
+            "issue": 0.10 * config.issue_width * math.sqrt(config.ruu_size),
+            # Caches: ~sqrt(capacity) * sqrt(associativity)
+            "il1": 0.020 * math.sqrt(config.il1.size_bytes
+                                     * config.il1.associativity),
+            "dl1": 0.020 * math.sqrt(config.dl1.size_bytes
+                                     * config.dl1.associativity),
+            "l2": 0.006 * math.sqrt(config.l2.size_bytes
+                                    * config.l2.associativity),
+            # Functional units
+            "int_alu": 0.6 * config.int_alus,
+            "load_store": 0.8 * config.load_store_units,
+            "fp_adder": 1.2 * config.fp_adders,
+            "int_mult_div": 1.0 * config.int_mult_divs,
+            "fp_mult_div": 1.5 * config.fp_mult_divs,
+            "resultbus": 0.25 * config.issue_width,
+        }
+        # Clock tree: a fixed share of everything it feeds (Wattch
+        # attributes a large share of total power to the clock network).
+        self.max_power["clock"] = 0.35 * sum(self.max_power.values())
+
+    # ------------------------------------------------------------------
+    def _duties(self, result: SimulationResult) -> Dict[str, float]:
+        """Average per-cycle utilization of each unit in [0, 1]."""
+        config = self.config
+        cycles = max(result.cycles, 1)
+        activity = result.activity
+
+        def rate(key: str, peak_per_cycle: float) -> float:
+            if peak_per_cycle <= 0:
+                return 0.0
+            return min(1.0, activity.get(key, 0) / (cycles * peak_per_cycle))
+
+        duties = {
+            "ruu": min(1.0, result.avg_ruu_occupancy / config.ruu_size),
+            "lsq": min(1.0, result.avg_lsq_occupancy / config.lsq_size),
+            "fetch": rate("fetch", config.fetch_width),
+            "dispatch": rate("dispatch", config.decode_width),
+            "bpred": rate("bpred", 2.0),
+            "issue": rate("issue", config.issue_width),
+            "il1": rate("il1", config.fetch_width),
+            "dl1": rate("dl1", config.load_store_units),
+            "l2": rate("l2", 1.0),
+            "int_alu": rate("int_alu", config.int_alus),
+            "load_store": rate("load_store", config.load_store_units),
+            "fp_adder": rate("fp_adder", config.fp_adders),
+            "int_mult_div": rate("int_mult_div", config.int_mult_divs),
+            "fp_mult_div": rate("fp_mult_div", config.fp_mult_divs),
+            "resultbus": rate("issue", config.issue_width),
+        }
+        duties["clock"] = min(1.0, result.ipc / config.commit_width)
+        return duties
+
+    def energy_per_cycle(self, result: SimulationResult) -> PowerBreakdown:
+        """EPC (the paper's Watt/cycle metric) with cc3 gating."""
+        duties = self._duties(result)
+        per_unit = {
+            name: pmax * (IDLE_FRACTION + (1.0 - IDLE_FRACTION) * duties[name])
+            for name, pmax in self.max_power.items()
+        }
+        return PowerBreakdown(per_unit=per_unit)
+
+    def epc(self, result: SimulationResult) -> float:
+        """Total energy per cycle for *result*."""
+        return self.energy_per_cycle(result).total
+
+
+def energy_delay_product(epc: float, ipc: float) -> float:
+    """EDP = EPC * CPI^2 (paper section 4.2.3, after [3])."""
+    if ipc <= 0:
+        return float("inf")
+    return epc / (ipc * ipc)

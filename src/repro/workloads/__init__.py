@@ -1,0 +1,55 @@
+"""Synthetic workload programs standing in for SPECint2000 binaries.
+
+The paper profiles ten SPEC CINT2000 Alpha binaries.  Those binaries (and
+an Alpha functional simulator) are unavailable here, so this package
+provides the substitution described in DESIGN.md: a parametric program
+generator (:mod:`repro.workloads.generator`) and a suite of ten
+deterministic workload configurations (:mod:`repro.workloads.spec`) named
+after the paper's benchmarks, spanning a comparable range of control-flow
+regularity, instruction mix, branch predictability and memory locality.
+"""
+
+from repro.workloads.behaviors import (
+    BiasedRandomBehavior,
+    BranchBehavior,
+    IndirectBehavior,
+    LoopBehavior,
+    MemoryStream,
+    PatternBehavior,
+    PointerChaseStream,
+    RandomStream,
+    StridedStream,
+)
+from repro.workloads.generator import WorkloadConfig, generate_program
+from repro.workloads.spec import (
+    SPEC_INT_2000,
+    benchmark_names,
+    build_benchmark,
+    build_suite,
+)
+from repro.workloads.micro import (
+    MICROBENCHMARKS,
+    build_microbenchmark,
+    microbenchmark_names,
+)
+
+__all__ = [
+    "BranchBehavior",
+    "LoopBehavior",
+    "PatternBehavior",
+    "BiasedRandomBehavior",
+    "IndirectBehavior",
+    "MemoryStream",
+    "StridedStream",
+    "RandomStream",
+    "PointerChaseStream",
+    "WorkloadConfig",
+    "generate_program",
+    "SPEC_INT_2000",
+    "benchmark_names",
+    "build_benchmark",
+    "build_suite",
+    "MICROBENCHMARKS",
+    "build_microbenchmark",
+    "microbenchmark_names",
+]

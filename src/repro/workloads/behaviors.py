@@ -1,0 +1,304 @@
+"""Run-time behaviour generators for synthetic programs.
+
+Two families of generators give the synthetic workloads realistic
+dynamics:
+
+* **Branch behaviours** decide the outcome of a basic block's terminating
+  branch each time it executes.  Their mixture controls how predictable a
+  workload is — loop backedges and short periodic patterns are easy for
+  the Table 2 hybrid predictor, biased coin flips are hard — which is what
+  makes the paper's delayed-update branch profiling study (Figures 3/5)
+  meaningful.
+* **Memory streams** produce effective addresses for loads and stores.
+  Strided sweeps, pointer chases and random accesses over configurable
+  working sets control the cache miss rates that the profiler annotates
+  onto the statistical flow graph.
+
+All generators are deterministic given their constructor arguments (any
+randomness comes from an explicit seed) and restartable via ``reset()``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Protocol, Sequence
+
+
+class BranchBehavior(Protocol):
+    """Decides conditional branch outcomes for one static branch site."""
+
+    def next_taken(self) -> bool:
+        """Return the outcome of the next dynamic execution."""
+        ...
+
+    def reset(self) -> None:
+        """Restart the behaviour from its initial state."""
+        ...
+
+
+class LoopBehavior:
+    """A loop backedge: taken ``trip_count - 1`` times, then not taken.
+
+    This is the classic highly-predictable branch; a bimodal predictor
+    mispredicts only the exit, and a local-history predictor with history
+    length >= trip_count captures it exactly.
+    """
+
+    __slots__ = ("trip_count", "_i")
+
+    def __init__(self, trip_count: int) -> None:
+        if trip_count < 1:
+            raise ValueError("trip_count must be >= 1")
+        self.trip_count = trip_count
+        self._i = 0
+
+    def next_taken(self) -> bool:
+        self._i += 1
+        if self._i >= self.trip_count:
+            self._i = 0
+            return False
+        return True
+
+    def reset(self) -> None:
+        self._i = 0
+
+
+class PatternBehavior:
+    """A cyclic taken/not-taken pattern, e.g. ``"TTNTN"``.
+
+    Periodic patterns are predictable by local two-level predictors when
+    the period fits in the history register, and systematically
+    mispredicted by bimodal predictors when near 50% biased.
+    """
+
+    __slots__ = ("pattern", "_i")
+
+    def __init__(self, pattern: str) -> None:
+        if not pattern or set(pattern) - {"T", "N"}:
+            raise ValueError("pattern must be a non-empty string of T/N")
+        self.pattern = pattern
+        self._i = 0
+
+    def next_taken(self) -> bool:
+        taken = self.pattern[self._i] == "T"
+        self._i = (self._i + 1) % len(self.pattern)
+        return taken
+
+    def reset(self) -> None:
+        self._i = 0
+
+
+class BiasedRandomBehavior:
+    """An unpredictable branch: independent Bernoulli draws.
+
+    The achievable prediction accuracy is ``max(p, 1-p)``; these branches
+    set the floor on a workload's misprediction rate.
+    """
+
+    __slots__ = ("p_taken", "_seed", "_rng")
+
+    def __init__(self, p_taken: float, seed: int) -> None:
+        if not 0.0 <= p_taken <= 1.0:
+            raise ValueError("p_taken must be in [0, 1]")
+        self.p_taken = p_taken
+        self._seed = seed
+        self._rng = random.Random(seed)
+
+    def next_taken(self) -> bool:
+        return self._rng.random() < self.p_taken
+
+    def reset(self) -> None:
+        self._rng = random.Random(self._seed)
+
+
+class IndirectBehavior:
+    """Chooses among an indirect branch's targets.
+
+    A skewed target distribution with occasional switches models virtual
+    dispatch: mostly monomorphic (BTB-friendly) with bursts of
+    polymorphism (BTB misses -> mispredictions, paper section 2.1.2).
+    """
+
+    __slots__ = ("n_targets", "switch_period", "_seed", "_rng", "_current", "_i")
+
+    def __init__(self, n_targets: int, switch_period: int, seed: int) -> None:
+        if n_targets < 1:
+            raise ValueError("n_targets must be >= 1")
+        if switch_period < 1:
+            raise ValueError("switch_period must be >= 1")
+        self.n_targets = n_targets
+        self.switch_period = switch_period
+        self._seed = seed
+        self.reset()
+
+    def next_target(self) -> int:
+        self._i += 1
+        if self._i >= self.switch_period:
+            self._i = 0
+            self._current = self._rng.randrange(self.n_targets)
+        return self._current
+
+    def reset(self) -> None:
+        self._rng = random.Random(self._seed)
+        self._current = self._rng.randrange(self.n_targets)
+        self._i = 0
+
+
+class MemoryStream(Protocol):
+    """Produces effective addresses for one static memory instruction."""
+
+    def next_address(self) -> int:
+        ...
+
+    def reset(self) -> None:
+        ...
+
+
+class StridedStream:
+    """A sequential array sweep: ``base, base+stride, ...`` wrapping at
+    ``length`` bytes.
+
+    With a cache line of L bytes and stride s < L this hits on
+    ``1 - s/L`` of accesses once the array exceeds the cache — the
+    streaming behaviour of compression/media codes (bzip2, gzip).
+    """
+
+    __slots__ = ("base", "stride", "length", "_offset")
+
+    def __init__(self, base: int, stride: int, length: int) -> None:
+        if stride <= 0 or length <= 0:
+            raise ValueError("stride and length must be positive")
+        self.base = base
+        self.stride = stride
+        self.length = length
+        self._offset = 0
+
+    def next_address(self) -> int:
+        addr = self.base + self._offset
+        self._offset += self.stride
+        if self._offset >= self.length:
+            self._offset = 0
+        return addr
+
+    def reset(self) -> None:
+        self._offset = 0
+
+
+class RandomStream:
+    """Uniform random accesses over a working set.
+
+    The working-set size relative to the cache controls the miss rate:
+    a set much larger than L1 but inside L2 yields L1 misses that hit in
+    L2; one larger than L2 yields main-memory traffic.
+    """
+
+    __slots__ = ("base", "working_set", "align", "_seed", "_rng")
+
+    def __init__(self, base: int, working_set: int, align: int = 8,
+                 seed: int = 0) -> None:
+        if working_set <= 0:
+            raise ValueError("working_set must be positive")
+        self.base = base
+        self.working_set = working_set
+        self.align = align
+        self._seed = seed
+        self._rng = random.Random(seed)
+
+    def next_address(self) -> int:
+        slots = self.working_set // self.align
+        return self.base + self._rng.randrange(slots) * self.align
+
+    def reset(self) -> None:
+        self._rng = random.Random(self._seed)
+
+
+class PointerChaseStream:
+    """A pseudo-random permutation walk over a working set.
+
+    Models linked-data-structure traversal (parser, twolf, vpr): each
+    access lands on a different cache line with no spatial locality, but
+    the *sequence* is fixed, so temporal reuse appears when the walk
+    wraps.  The permutation is a simple LCG-style full-cycle generator.
+    """
+
+    __slots__ = ("base", "n_nodes", "node_bytes", "_state", "_start")
+
+    def __init__(self, base: int, n_nodes: int, node_bytes: int = 64,
+                 seed: int = 1) -> None:
+        if n_nodes < 1:
+            raise ValueError("n_nodes must be >= 1")
+        self.base = base
+        self.n_nodes = n_nodes
+        self.node_bytes = node_bytes
+        self._start = seed % n_nodes
+        self._state = self._start
+
+    def next_address(self) -> int:
+        addr = self.base + self._state * self.node_bytes
+        # Full-cycle step: works for any n_nodes because gcd checks below.
+        self._state = (self._state * 5 + 3) % self.n_nodes
+        return addr
+
+    def reset(self) -> None:
+        self._state = self._start
+
+
+def make_branch_behavior(kind: str, rng: random.Random,
+                         p_taken: float = 0.5) -> BranchBehavior:
+    """Build a branch behaviour of the given *kind* using *rng* for its
+    parameters (trip counts, patterns, seeds).
+
+    Kinds: ``"loop"``, ``"pattern"``, ``"random"``.
+    """
+    if kind == "loop":
+        return LoopBehavior(
+            trip_count=rng.choice((8, 12, 16, 24, 32, 48, 64, 100)))
+    if kind == "pattern":
+        length = rng.choice((2, 3, 4, 5, 6, 8))
+        pattern = "".join(rng.choice("TN") for _ in range(length))
+        if "T" not in pattern:
+            pattern = "T" + pattern[1:]
+        return PatternBehavior(pattern)
+    if kind == "random":
+        return BiasedRandomBehavior(p_taken=p_taken, seed=rng.getrandbits(32))
+    raise ValueError(f"unknown branch behaviour kind: {kind!r}")
+
+
+def make_memory_stream(kind: str, rng: random.Random, base: int,
+                       working_set: int) -> MemoryStream:
+    """Build a memory stream of the given *kind* over *working_set* bytes.
+
+    Kinds: ``"strided"``, ``"random"``, ``"chase"``, ``"hot"`` (a small
+    always-resident region regardless of the nominal working set).
+    """
+    if kind == "strided":
+        return StridedStream(base=base, stride=rng.choice((4, 8, 8, 16)),
+                             length=working_set)
+    if kind == "random":
+        return RandomStream(base=base, working_set=working_set,
+                            seed=rng.getrandbits(32))
+    if kind == "chase":
+        node_bytes = 64
+        n_nodes = max(1, working_set // node_bytes)
+        return PointerChaseStream(base=base, n_nodes=n_nodes,
+                                  node_bytes=node_bytes,
+                                  seed=rng.getrandbits(16) | 1)
+    if kind == "hot":
+        return RandomStream(base=base, working_set=min(working_set, 2048),
+                            seed=rng.getrandbits(32))
+    raise ValueError(f"unknown memory stream kind: {kind!r}")
+
+
+__all__: Sequence[str] = (
+    "BranchBehavior",
+    "LoopBehavior",
+    "PatternBehavior",
+    "BiasedRandomBehavior",
+    "IndirectBehavior",
+    "MemoryStream",
+    "StridedStream",
+    "RandomStream",
+    "PointerChaseStream",
+    "make_branch_behavior",
+    "make_memory_stream",
+)

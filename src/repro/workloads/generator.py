@@ -1,0 +1,296 @@
+"""Parametric generator of synthetic workload programs.
+
+:func:`generate_program` turns a :class:`WorkloadConfig` into a concrete
+:class:`~repro.isa.program.Program`: a control-flow graph of basic blocks
+with assigned instruction classes, register operands, branch behaviours
+and memory streams.  Generation is fully deterministic given the config's
+seed, so each named benchmark of :mod:`repro.workloads.spec` is a fixed,
+reproducible program — the stand-in for a SPEC binary.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.isa.iclass import IClass
+from repro.isa.instruction import StaticInstruction
+from repro.isa.program import INSTRUCTION_BYTES, BasicBlock, Program
+from repro.workloads.behaviors import (
+    IndirectBehavior,
+    make_branch_behavior,
+    make_memory_stream,
+)
+
+#: Data segment base address; code starts at 0x1000.
+DATA_BASE = 0x10_0000
+CODE_BASE = 0x1000
+
+#: Default instruction mix (non-branch instructions) loosely matching an
+#: integer SPEC-like profile: ~30% loads, ~12% stores, rest ALU-dominated.
+DEFAULT_MIX: Dict[IClass, float] = {
+    IClass.LOAD: 0.28,
+    IClass.STORE: 0.12,
+    IClass.INT_ALU: 0.50,
+    IClass.INT_MULT: 0.04,
+    IClass.INT_DIV: 0.01,
+    IClass.FP_ALU: 0.03,
+    IClass.FP_MULT: 0.015,
+    IClass.FP_DIV: 0.004,
+    IClass.FP_SQRT: 0.001,
+}
+
+#: Typical source-operand counts per instruction class.  Some classes mix
+#: one- and two-operand forms, which is exactly the situation the paper
+#: notes ("some instruction types ... may have a different number of
+#: source operands").
+_SRC_COUNT_CHOICES: Dict[IClass, Tuple[int, ...]] = {
+    IClass.LOAD: (1, 1, 1, 2),
+    IClass.STORE: (2,),
+    IClass.INT_ALU: (2, 2, 2, 1),
+    IClass.INT_MULT: (2,),
+    IClass.INT_DIV: (2,),
+    IClass.FP_ALU: (2, 2, 1),
+    IClass.FP_MULT: (2,),
+    IClass.FP_DIV: (2,),
+    IClass.FP_SQRT: (1,),
+    IClass.INT_COND_BRANCH: (1, 2),
+    IClass.FP_COND_BRANCH: (1,),
+    IClass.INDIRECT_BRANCH: (1,),
+}
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """Parameters shaping one synthetic workload.
+
+    The fields map onto the program properties the paper's methodology is
+    sensitive to:
+
+    * ``n_blocks`` / ``mean_block_size`` — static code structure; drives
+      SFG size (Table 3) and basic-block granularity effects.
+    * ``loop_fraction`` / ``pattern_fraction`` (remainder: biased-random)
+      — branch predictability mixture; drives misprediction rates
+      (Figures 3 and 5).
+    * ``indirect_fraction`` — share of blocks ending in indirect
+      branches (BTB misses -> fetch redirections / mispredictions).
+    * ``working_set_kb`` plus stream-kind fractions — data locality;
+      drives the six cache miss rates of section 2.1.2.
+    * ``code_footprint_kb`` — instruction locality (L1 I-cache misses).
+    * ``dependency_locality`` — register-reuse tightness; shapes the
+      dependency-distance distributions (ILP).
+    """
+
+    name: str
+    seed: int
+    n_blocks: int = 64
+    mean_block_size: int = 6
+    instruction_mix: Dict[IClass, float] = field(
+        default_factory=lambda: dict(DEFAULT_MIX)
+    )
+    n_registers: int = 48
+    working_set_kb: int = 64
+    stream_kinds: Dict[str, float] = field(
+        default_factory=lambda: {"strided": 0.4, "random": 0.2,
+                                 "chase": 0.2, "hot": 0.2}
+    )
+    n_memory_streams: int = 16
+    loop_fraction: float = 0.45
+    pattern_fraction: float = 0.25
+    indirect_fraction: float = 0.04
+    random_branch_bias: float = 0.5
+    code_footprint_kb: int = 16
+    dependency_locality: float = 0.35
+
+    def __post_init__(self) -> None:
+        if self.n_blocks < 2:
+            raise ValueError("need at least two basic blocks")
+        if self.mean_block_size < 1:
+            raise ValueError("mean_block_size must be >= 1")
+        if not 0 <= self.loop_fraction + self.pattern_fraction <= 1:
+            raise ValueError("branch behaviour fractions must sum to <= 1")
+        if not 0 <= self.indirect_fraction <= 0.5:
+            raise ValueError("indirect_fraction must be in [0, 0.5]")
+        total = sum(self.instruction_mix.values())
+        if total <= 0:
+            raise ValueError("instruction mix must have positive mass")
+        for iclass in self.instruction_mix:
+            if iclass in (IClass.INT_COND_BRANCH, IClass.FP_COND_BRANCH,
+                          IClass.INDIRECT_BRANCH):
+                raise ValueError("branch classes are implicit; exclude them "
+                                 "from instruction_mix")
+
+
+def _sample_mix(rng: random.Random, mix: Dict[IClass, float]) -> IClass:
+    """Sample an instruction class from a (possibly unnormalized) mix."""
+    total = sum(mix.values())
+    x = rng.random() * total
+    acc = 0.0
+    for iclass, weight in mix.items():
+        acc += weight
+        if x < acc:
+            return iclass
+    return next(reversed(mix))
+
+
+def _pick_sources(rng: random.Random, count: int, recent: List[int],
+                  locality: float, n_registers: int) -> Tuple[int, ...]:
+    """Pick *count* source registers, preferring recently written ones.
+
+    With probability *locality* a source is drawn from the tail of the
+    recent-writers list with geometric recency decay; otherwise uniformly.
+    Tighter locality -> shorter dynamic dependency distances -> less ILP.
+    """
+    sources = []
+    for _ in range(count):
+        if recent and rng.random() < locality:
+            depth = min(len(recent), 1 + int(rng.expovariate(1.0) * 4))
+            sources.append(recent[-rng.randint(1, depth)])
+        else:
+            sources.append(rng.randrange(n_registers))
+    return tuple(sources)
+
+
+def _generate_block_body(rng: random.Random, config: WorkloadConfig,
+                         size: int, recent: List[int]) -> List[StaticInstruction]:
+    """Generate the non-branch instructions of one basic block."""
+    body = []
+    for _ in range(size):
+        iclass = _sample_mix(rng, config.instruction_mix)
+        n_src = rng.choice(_SRC_COUNT_CHOICES[iclass])
+        src_regs = _pick_sources(rng, n_src, recent,
+                                 config.dependency_locality,
+                                 config.n_registers)
+        dst_reg = None
+        mem_stream = None
+        if iclass is IClass.STORE:
+            mem_stream = rng.randrange(config.n_memory_streams)
+        else:
+            dst_reg = rng.randrange(config.n_registers)
+            recent.append(dst_reg)
+            if len(recent) > 64:
+                del recent[0]
+            if iclass is IClass.LOAD:
+                mem_stream = rng.randrange(config.n_memory_streams)
+        body.append(StaticInstruction(iclass=iclass, src_regs=src_regs,
+                                      dst_reg=dst_reg, mem_stream=mem_stream))
+    return body
+
+
+def generate_program(config: WorkloadConfig) -> Program:
+    """Generate the deterministic program described by *config*."""
+    rng = random.Random(config.seed)
+    n = config.n_blocks
+
+    # --- Behaviour kind per block -------------------------------------
+    kinds = []
+    for _ in range(n):
+        x = rng.random()
+        if x < config.loop_fraction:
+            kinds.append("loop")
+        elif x < config.loop_fraction + config.pattern_fraction:
+            kinds.append("pattern")
+        else:
+            kinds.append("random")
+    indirect_blocks = set(
+        rng.sample(range(n), max(0, int(round(config.indirect_fraction * n))))
+    )
+
+    # --- Code layout ---------------------------------------------------
+    # Blocks are laid out in id order with random gaps so the static code
+    # spans roughly ``code_footprint_kb`` of address space; a footprint
+    # exceeding the L1 I-cache induces instruction misses.
+    sizes = []
+    for _ in range(n):
+        # At least one body instruction: branch-only blocks would make
+        # tight loops degenerate into pure branch streams.
+        body = max(1, int(rng.gauss(config.mean_block_size - 1,
+                                    config.mean_block_size / 2.5)))
+        sizes.append(body + 1)  # +1 for the terminating branch
+    packed_bytes = sum(sizes) * INSTRUCTION_BYTES
+    footprint = max(config.code_footprint_kb * 1024, packed_bytes)
+    slack = footprint - packed_bytes
+    gaps = [0] * n
+    for _ in range(n):
+        gaps[rng.randrange(n)] += slack // n
+    addresses = []
+    cursor = CODE_BASE
+    for i in range(n):
+        addresses.append(cursor)
+        cursor += sizes[i] * INSTRUCTION_BYTES + gaps[i]
+
+    # --- Memory streams --------------------------------------------------
+    memory_streams = []
+    stream_base = DATA_BASE
+    per_stream_bytes = max(4096, config.working_set_kb * 1024
+                           // max(1, config.n_memory_streams))
+    for _ in range(config.n_memory_streams):
+        kind = _sample_mix(rng, dict(config.stream_kinds))  # type: ignore[arg-type]
+        memory_streams.append(
+            make_memory_stream(kind, rng, base=stream_base,
+                               working_set=per_stream_bytes)
+        )
+        stream_base += per_stream_bytes + 4096
+
+    # --- Blocks ---------------------------------------------------------
+    blocks: List[BasicBlock] = []
+    branch_behaviors: list = []
+    recent_writers: List[int] = []
+    for i in range(n):
+        body = _generate_block_body(rng, config, sizes[i] - 1, recent_writers)
+        fallthrough = (i + 1) % n
+        if i in indirect_blocks:
+            branch_class = IClass.INDIRECT_BRANCH
+            n_targets = rng.randint(2, 6)
+            targets = tuple(
+                sorted(rng.sample(range(n), min(n_targets, n)))
+            )
+            behavior = IndirectBehavior(
+                n_targets=len(targets),
+                switch_period=rng.choice((50, 100, 200, 400)),
+                seed=rng.getrandbits(32),
+            )
+            taken_target = targets[0]
+        else:
+            branch_class = IClass.INT_COND_BRANCH
+            targets = ()
+            if kinds[i] == "loop":
+                # Backedge: to self or a nearby earlier block.
+                taken_target = rng.randint(max(0, i - 3), i)
+            else:
+                # Forward jump within a window, wrapping at the end.
+                taken_target = (i + rng.randint(2, min(12, n - 1))) % n
+            p_taken = config.random_branch_bias
+            if kinds[i] == "random":
+                p_taken = min(0.95, max(0.05,
+                                        rng.gauss(config.random_branch_bias,
+                                                  0.15)))
+            behavior = make_branch_behavior(kinds[i], rng, p_taken=p_taken)
+        n_src = rng.choice(_SRC_COUNT_CHOICES[branch_class])
+        branch = StaticInstruction(
+            iclass=branch_class,
+            src_regs=_pick_sources(rng, n_src, recent_writers,
+                                   config.dependency_locality,
+                                   config.n_registers),
+        )
+        branch_behaviors.append(behavior)
+        blocks.append(
+            BasicBlock(
+                bb_id=i,
+                address=addresses[i],
+                instructions=body + [branch],
+                taken_target=taken_target,
+                fallthrough=fallthrough,
+                indirect_targets=targets,
+                branch_behavior=i,
+            )
+        )
+
+    return Program(
+        name=config.name,
+        blocks=blocks,
+        entry=0,
+        branch_behaviors=branch_behaviors,
+        memory_streams=memory_streams,
+    )

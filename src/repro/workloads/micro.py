@@ -1,0 +1,168 @@
+"""Microbenchmarks with analytically known behaviour.
+
+Unlike the SPEC-named suite (statistically generated), these kernels
+are hand-built so their performance on a given machine is predictable
+in closed form.  They serve three purposes: validating the simulators
+(tests assert the analytic expectations), stressing one mechanism at a
+time (dependency chains, branch patterns, memory levels), and giving
+users minimal starting points for custom workloads.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.isa.iclass import IClass
+from repro.isa.instruction import StaticInstruction
+from repro.isa.program import BasicBlock, Program
+from repro.workloads.behaviors import (
+    BiasedRandomBehavior,
+    LoopBehavior,
+    PatternBehavior,
+    PointerChaseStream,
+    RandomStream,
+    StridedStream,
+)
+
+_DATA = 0x10_0000
+
+
+def _alu(dst: int, *src: int) -> StaticInstruction:
+    return StaticInstruction(IClass.INT_ALU, src_regs=tuple(src),
+                             dst_reg=dst)
+
+
+def _load(dst: int, addr_reg: int, stream: int) -> StaticInstruction:
+    return StaticInstruction(IClass.LOAD, src_regs=(addr_reg,),
+                             dst_reg=dst, mem_stream=stream)
+
+
+def _branch(*src: int) -> StaticInstruction:
+    return StaticInstruction(IClass.INT_COND_BRANCH,
+                             src_regs=tuple(src))
+
+
+def _single_block(name: str, instructions: List[StaticInstruction],
+                  behavior, streams: list) -> Program:
+    block = BasicBlock(bb_id=0, address=0x1000,
+                       instructions=instructions, taken_target=0,
+                       fallthrough=0, branch_behavior=0)
+    return Program(name=name, blocks=[block], entry=0,
+                   branch_behaviors=[behavior], memory_streams=streams)
+
+
+def independent_alu_kernel(block_size: int = 16) -> Program:
+    """Fully independent ALU operations: IPC should approach the
+    machine's width limits (each instruction writes its own register
+    and reads registers nothing in the loop writes)."""
+    if not 2 <= block_size <= 30:
+        raise ValueError("block_size must be in [2, 30]")
+    body = [_alu(dst, 32, 33) for dst in range(block_size - 1)]
+    return _single_block("micro/independent-alu",
+                         body + [_branch(32)],
+                         PatternBehavior("T"), [])
+
+
+def serial_chain_kernel(block_size: int = 16) -> Program:
+    """A pure RAW dependency chain: every instruction reads the
+    previous one's destination, capping IPC near 1."""
+    if not 3 <= block_size <= 30:
+        raise ValueError("block_size must be in [3, 30]")
+    # Every instruction reads and rewrites r1, so the chain continues
+    # across block boundaries — blocks must not start fresh chains or
+    # the window extracts inter-block parallelism.
+    body = [_alu(1, 1) for _ in range(block_size - 1)]
+    return _single_block("micro/serial-chain", body + [_branch(1)],
+                         PatternBehavior("T"), [])
+
+
+def pointer_chase_kernel(working_set_kb: int = 512,
+                         chain_loads: int = 4) -> Program:
+    """Serially dependent loads over a large working set: each load's
+    address register is the previous load's result, so load latencies
+    serialize.  IPC ~ block_size / (chain_loads * load_latency)."""
+    stream = PointerChaseStream(base=_DATA,
+                                n_nodes=working_set_kb * 1024 // 64,
+                                node_bytes=64, seed=5)
+    body: List[StaticInstruction] = []
+    for _ in range(chain_loads):
+        body.append(_load(1, 1, 0))
+    return _single_block("micro/pointer-chase", body + [_branch(1)],
+                         PatternBehavior("T"), [stream])
+
+
+def streaming_kernel(array_kb: int = 256) -> Program:
+    """A strided sweep with independent work: misses once per line,
+    hits otherwise; latency overlapped by independent ALU work."""
+    stream = StridedStream(base=_DATA, stride=8, length=array_kb * 1024)
+    body = [_load(1, 32, 0), _alu(2, 1), _alu(3, 32, 33),
+            _alu(4, 32, 33), _alu(5, 32, 33)]
+    return _single_block("micro/streaming", body + [_branch(2)],
+                         PatternBehavior("T"), [stream])
+
+
+def branch_torture_kernel(p_taken: float = 0.5, seed: int = 7) -> Program:
+    """Unpredictable branches back-to-back: misprediction rate should
+    approach min(p, 1-p) and dominate run time."""
+    block0 = BasicBlock(
+        bb_id=0, address=0x1000,
+        instructions=[_alu(1, 2), _branch(1)],
+        taken_target=1, fallthrough=1, branch_behavior=0)
+    block1 = BasicBlock(
+        bb_id=1, address=0x2000,
+        instructions=[_alu(2, 1), _branch(2)],
+        taken_target=0, fallthrough=0, branch_behavior=1)
+    return Program(
+        name="micro/branch-torture",
+        blocks=[block0, block1], entry=0,
+        branch_behaviors=[BiasedRandomBehavior(p_taken, seed),
+                          BiasedRandomBehavior(p_taken, seed + 1)],
+        memory_streams=[])
+
+
+def loop_nest_kernel(inner_trips: int = 16, outer_trips: int = 64
+                     ) -> Program:
+    """A classic two-deep loop nest: inner backedge taken
+    ``inner_trips - 1`` of ``inner_trips`` times, outer likewise —
+    highly predictable, with a known basic-block frequency ratio."""
+    inner = BasicBlock(
+        bb_id=0, address=0x1000,
+        instructions=[_load(1, 32, 0), _alu(2, 1, 2), _branch(2)],
+        taken_target=0, fallthrough=1, branch_behavior=0)
+    outer = BasicBlock(
+        bb_id=1, address=0x2000,
+        instructions=[_alu(3, 2), _branch(3)],
+        taken_target=0, fallthrough=0, branch_behavior=1)
+    stream = RandomStream(base=_DATA, working_set=4096, seed=3)
+    return Program(
+        name="micro/loop-nest",
+        blocks=[inner, outer], entry=0,
+        branch_behaviors=[LoopBehavior(inner_trips),
+                          LoopBehavior(outer_trips)],
+        memory_streams=[stream])
+
+
+MICROBENCHMARKS = {
+    "independent-alu": independent_alu_kernel,
+    "serial-chain": serial_chain_kernel,
+    "pointer-chase": pointer_chase_kernel,
+    "streaming": streaming_kernel,
+    "branch-torture": branch_torture_kernel,
+    "loop-nest": loop_nest_kernel,
+}
+
+
+def build_microbenchmark(name: str, **kwargs) -> Program:
+    """Build a microbenchmark by name (see :data:`MICROBENCHMARKS`)."""
+    try:
+        factory = MICROBENCHMARKS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown microbenchmark {name!r}; known: "
+            f"{', '.join(MICROBENCHMARKS)}"
+        ) from None
+    return factory(**kwargs)
+
+
+def microbenchmark_names() -> List[str]:
+    return list(MICROBENCHMARKS)

@@ -1,0 +1,166 @@
+"""The ten SPECint2000-named synthetic workloads (substitution for the
+paper's Alpha SPEC binaries — see DESIGN.md section 2).
+
+Each configuration gives its namesake's qualitative personality from the
+paper's Table 1 and the SPEC literature:
+
+* **bzip2 / gzip** — streaming compressors: strided memory sweeps,
+  highly predictable branches, small code; high baseline IPC (paper:
+  1.83 / 1.94).
+* **crafty** — chess: large random hash-table working set, hard
+  data-dependent branches; lowest IPC (paper: 0.51).
+* **eon** — C++ ray tracer: FP-flavoured mix, many indirect branches
+  (virtual dispatch); IPC 0.81.
+* **gcc** — compiler: by far the largest static code footprint (largest
+  SFG in the paper's Table 3), mixed behaviour; IPC 1.37.
+* **parser** — dictionary parser: pointer chasing, mixed branches;
+  IPC 1.03.
+* **perlbmk** — interpreter: indirect dispatch loop, patterned
+  branches, sizable code; IPC 0.97.
+* **twolf** — place & route: random accesses over a big working set,
+  poorly predictable branches; IPC 0.64.
+* **vortex** — OO database: large code, regular branches, moderate
+  memory; IPC 1.11.
+* **vpr** — FPGA place & route: pointer chasing plus random branches,
+  tiny hot code (smallest SFG in Table 3); IPC 0.69.
+
+Static block counts are scaled versions of the paper's Table 3 ordering
+(gcc >> vortex > crafty > parser > others > vpr).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.isa.iclass import IClass
+from repro.isa.program import Program
+from repro.workloads.generator import DEFAULT_MIX, WorkloadConfig, generate_program
+
+
+def _mix(**overrides: float) -> Dict[IClass, float]:
+    """DEFAULT_MIX with named overrides, e.g. ``_mix(LOAD=0.35)``."""
+    mix = dict(DEFAULT_MIX)
+    for name, value in overrides.items():
+        mix[IClass[name]] = value
+    return mix
+
+
+SPEC_INT_2000: Dict[str, WorkloadConfig] = {
+    "bzip2": WorkloadConfig(
+        name="bzip2", seed=0xB21, n_blocks=48, mean_block_size=9,
+        instruction_mix=_mix(LOAD=0.26, STORE=0.10, INT_ALU=0.56),
+        working_set_kb=96,
+        stream_kinds={"strided": 0.75, "random": 0.05, "hot": 0.2},
+        loop_fraction=0.62, pattern_fraction=0.24, indirect_fraction=0.0,
+        code_footprint_kb=6, dependency_locality=0.22,
+    ),
+    "crafty": WorkloadConfig(
+        name="crafty", seed=0xC4A, n_blocks=160, mean_block_size=5,
+        instruction_mix=_mix(LOAD=0.31, STORE=0.09, INT_ALU=0.47),
+        working_set_kb=2048,
+        stream_kinds={"strided": 0.1, "random": 0.6, "chase": 0.2,
+                      "hot": 0.1},
+        loop_fraction=0.24, pattern_fraction=0.26, indirect_fraction=0.02,
+        random_branch_bias=0.25, code_footprint_kb=48,
+        dependency_locality=0.55,
+    ),
+    "eon": WorkloadConfig(
+        name="eon", seed=0xE08, n_blocks=56, mean_block_size=7,
+        instruction_mix=_mix(LOAD=0.27, STORE=0.13, INT_ALU=0.34,
+                             FP_ALU=0.14, FP_MULT=0.07, FP_DIV=0.012,
+                             FP_SQRT=0.006),
+        working_set_kb=48,
+        stream_kinds={"strided": 0.4, "random": 0.15, "chase": 0.15,
+                      "hot": 0.3},
+        loop_fraction=0.36, pattern_fraction=0.3, indirect_fraction=0.11,
+        random_branch_bias=0.3, code_footprint_kb=24, dependency_locality=0.5,
+    ),
+    "gcc": WorkloadConfig(
+        name="gcc", seed=0x6CC, n_blocks=400, mean_block_size=5,
+        instruction_mix=_mix(LOAD=0.30, STORE=0.13, INT_ALU=0.47),
+        working_set_kb=512,
+        stream_kinds={"strided": 0.3, "random": 0.25, "chase": 0.25,
+                      "hot": 0.2},
+        loop_fraction=0.32, pattern_fraction=0.3, indirect_fraction=0.05,
+        random_branch_bias=0.3, code_footprint_kb=64, dependency_locality=0.35,
+    ),
+    "gzip": WorkloadConfig(
+        name="gzip", seed=0x621, n_blocks=32, mean_block_size=10,
+        instruction_mix=_mix(LOAD=0.24, STORE=0.09, INT_ALU=0.59),
+        working_set_kb=64,
+        stream_kinds={"strided": 0.8, "hot": 0.2},
+        loop_fraction=0.66, pattern_fraction=0.22, indirect_fraction=0.0,
+        code_footprint_kb=4, dependency_locality=0.2,
+    ),
+    "parser": WorkloadConfig(
+        name="parser", seed=0x9A5, n_blocks=200, mean_block_size=7,
+        instruction_mix=_mix(LOAD=0.30, STORE=0.11, INT_ALU=0.49),
+        working_set_kb=1536,
+        stream_kinds={"strided": 0.15, "random": 0.2, "chase": 0.45,
+                      "hot": 0.2},
+        loop_fraction=0.3, pattern_fraction=0.32, indirect_fraction=0.03,
+        random_branch_bias=0.3, code_footprint_kb=32, dependency_locality=0.55,
+    ),
+    "perlbmk": WorkloadConfig(
+        name="perlbmk", seed=0x9E7, n_blocks=72, mean_block_size=6,
+        instruction_mix=_mix(LOAD=0.29, STORE=0.14, INT_ALU=0.47),
+        working_set_kb=128,
+        stream_kinds={"strided": 0.25, "random": 0.2, "chase": 0.25,
+                      "hot": 0.3},
+        loop_fraction=0.24, pattern_fraction=0.42, indirect_fraction=0.12,
+        random_branch_bias=0.3, code_footprint_kb=40, dependency_locality=0.4,
+    ),
+    "twolf": WorkloadConfig(
+        name="twolf", seed=0x270, n_blocks=48, mean_block_size=5,
+        instruction_mix=_mix(LOAD=0.32, STORE=0.10, INT_ALU=0.46,
+                             FP_ALU=0.05, FP_MULT=0.02),
+        working_set_kb=1024,
+        stream_kinds={"strided": 0.1, "random": 0.55, "chase": 0.25,
+                      "hot": 0.1},
+        loop_fraction=0.24, pattern_fraction=0.3, indirect_fraction=0.02,
+        random_branch_bias=0.3, code_footprint_kb=16,
+        dependency_locality=0.55,
+    ),
+    "vortex": WorkloadConfig(
+        name="vortex", seed=0x0E7, n_blocks=220, mean_block_size=6,
+        instruction_mix=_mix(LOAD=0.31, STORE=0.15, INT_ALU=0.46),
+        working_set_kb=256,
+        stream_kinds={"strided": 0.35, "random": 0.2, "chase": 0.2,
+                      "hot": 0.25},
+        loop_fraction=0.48, pattern_fraction=0.32, indirect_fraction=0.04,
+        random_branch_bias=0.25, code_footprint_kb=40, dependency_locality=0.32,
+    ),
+    "vpr": WorkloadConfig(
+        name="vpr", seed=0x09F, n_blocks=24, mean_block_size=6,
+        instruction_mix=_mix(LOAD=0.30, STORE=0.10, INT_ALU=0.45,
+                             FP_ALU=0.07, FP_MULT=0.03, FP_DIV=0.008),
+        working_set_kb=768,
+        stream_kinds={"strided": 0.1, "random": 0.35, "chase": 0.45,
+                      "hot": 0.1},
+        loop_fraction=0.42, pattern_fraction=0.18, indirect_fraction=0.02,
+        random_branch_bias=0.3, code_footprint_kb=8,
+        dependency_locality=0.5,
+    ),
+}
+
+
+def benchmark_names() -> List[str]:
+    """Names of the ten workloads, in the paper's (alphabetical) order."""
+    return list(SPEC_INT_2000)
+
+
+def build_benchmark(name: str) -> Program:
+    """Generate the named workload program (deterministic)."""
+    try:
+        config = SPEC_INT_2000[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown benchmark {name!r}; known: {', '.join(SPEC_INT_2000)}"
+        ) from None
+    return generate_program(config)
+
+
+def build_suite(names: List[str] | None = None) -> Dict[str, Program]:
+    """Generate all (or the selected) workloads of the suite."""
+    selected = names if names is not None else benchmark_names()
+    return {name: build_benchmark(name) for name in selected}

@@ -1,0 +1,96 @@
+"""Tests for SFG analysis utilities."""
+
+import pytest
+
+from repro.core.analysis import (
+    hottest_contexts,
+    reduced_connectivity,
+    to_networkx,
+    transition_entropy,
+)
+from repro.core.profiler import profile_trace
+from repro.core.reduction import reduce_flow_graph
+
+
+@pytest.fixture
+def profile(small_trace, config):
+    return profile_trace(small_trace, config, order=1,
+                         branch_mode="perfect", perfect_caches=True)
+
+
+class TestToNetworkx:
+    def test_nodes_match_contexts(self, profile):
+        graph = to_networkx(profile.sfg)
+        assert graph.number_of_nodes() == profile.num_nodes
+
+    def test_edge_probabilities_normalized(self, profile):
+        graph = to_networkx(profile.sfg)
+        for node in graph.nodes:
+            out = list(graph.out_edges(node, data=True))
+            if out:
+                total = sum(data["probability"] for _, _, data in out)
+                # Successor contexts outside the graph are impossible in
+                # the full SFG, so out-probabilities sum to 1.
+                assert total == pytest.approx(1.0)
+
+    def test_reduced_restriction(self, profile):
+        reduced = reduce_flow_graph(profile.sfg, 8)
+        graph = to_networkx(profile.sfg, reduced=reduced)
+        assert set(graph.nodes) == set(reduced.occurrences)
+
+    def test_node_attributes(self, profile):
+        graph = to_networkx(profile.sfg)
+        for context, data in graph.nodes(data=True):
+            assert data["block"] == context[-1]
+            assert data["occurrences"] >= 1
+
+
+class TestEntropy:
+    def test_deterministic_flow_has_zero_entropy(self, tiny_trace,
+                                                 config):
+        # The tiny loop at order 2 is almost fully determined; at order
+        # 1 the loop branch adds uncertainty.
+        low = profile_trace(tiny_trace, config, order=2,
+                            branch_mode="perfect", perfect_caches=True)
+        high = profile_trace(tiny_trace, config, order=0,
+                             branch_mode="perfect", perfect_caches=True)
+        assert transition_entropy(low.sfg) <= \
+            transition_entropy(high.sfg) + 1e-9
+
+    def test_entropy_nonnegative(self, profile):
+        assert transition_entropy(profile.sfg) >= 0.0
+
+    def test_empty_graph(self):
+        from repro.core.sfg import StatisticalFlowGraph
+
+        assert transition_entropy(StatisticalFlowGraph(1)) == 0.0
+
+
+class TestReducedConnectivity:
+    def test_unreduced_graph_is_connected(self, profile):
+        reduced = reduce_flow_graph(profile.sfg, 1)
+        stats = reduced_connectivity(profile.sfg, reduced)
+        assert stats["largest_component_fraction"] == 1.0
+        assert stats["components"] == 1
+
+    def test_mass_dominates_even_when_fragmented(self, profile):
+        # The paper: after reduction "the interconnection is still
+        # strong enough" — the hot mass stays in one component.
+        reduced = reduce_flow_graph(profile.sfg, 8)
+        stats = reduced_connectivity(profile.sfg, reduced)
+        assert stats["largest_component_mass"] > 0.5
+
+    def test_empty_reduction(self, profile):
+        reduced = reduce_flow_graph(profile.sfg, 10**9)
+        stats = reduced_connectivity(profile.sfg, reduced)
+        assert stats["components"] == 0
+
+
+class TestHottestContexts:
+    def test_ordering_and_shares(self, profile):
+        ranked = hottest_contexts(profile.sfg, top=5)
+        occurrences = [count for _, count, _ in ranked]
+        assert occurrences == sorted(occurrences, reverse=True)
+        for _, count, share in ranked:
+            assert share == pytest.approx(
+                count / profile.sfg.total_block_executions)

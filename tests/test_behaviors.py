@@ -1,0 +1,189 @@
+"""Unit and property tests for branch behaviours and memory streams."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.behaviors import (
+    BiasedRandomBehavior,
+    IndirectBehavior,
+    LoopBehavior,
+    PatternBehavior,
+    PointerChaseStream,
+    RandomStream,
+    StridedStream,
+    make_branch_behavior,
+    make_memory_stream,
+)
+
+
+class TestLoopBehavior:
+    def test_trip_count_semantics(self):
+        loop = LoopBehavior(trip_count=4)
+        outcomes = [loop.next_taken() for _ in range(8)]
+        # Taken 3 times, not taken once, repeating.
+        assert outcomes == [True, True, True, False] * 2
+
+    def test_trip_one_never_taken(self):
+        loop = LoopBehavior(trip_count=1)
+        assert [loop.next_taken() for _ in range(3)] == [False] * 3
+
+    def test_reset(self):
+        loop = LoopBehavior(trip_count=3)
+        first = [loop.next_taken() for _ in range(5)]
+        loop.reset()
+        assert [loop.next_taken() for _ in range(5)] == first
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            LoopBehavior(trip_count=0)
+
+    @given(st.integers(min_value=2, max_value=50))
+    def test_exit_frequency(self, trip):
+        loop = LoopBehavior(trip_count=trip)
+        outcomes = [loop.next_taken() for _ in range(trip * 10)]
+        assert outcomes.count(False) == 10
+
+
+class TestPatternBehavior:
+    def test_pattern_cycles(self):
+        pattern = PatternBehavior("TNT")
+        outcomes = [pattern.next_taken() for _ in range(6)]
+        assert outcomes == [True, False, True, True, False, True]
+
+    def test_rejects_bad_pattern(self):
+        with pytest.raises(ValueError):
+            PatternBehavior("TXT")
+        with pytest.raises(ValueError):
+            PatternBehavior("")
+
+    @given(st.text(alphabet="TN", min_size=1, max_size=12))
+    def test_period_property(self, text):
+        pattern = PatternBehavior(text)
+        cycle1 = [pattern.next_taken() for _ in range(len(text))]
+        cycle2 = [pattern.next_taken() for _ in range(len(text))]
+        assert cycle1 == cycle2
+        assert cycle1 == [c == "T" for c in text]
+
+
+class TestBiasedRandomBehavior:
+    def test_determinism(self):
+        a = BiasedRandomBehavior(0.7, seed=42)
+        b = BiasedRandomBehavior(0.7, seed=42)
+        assert [a.next_taken() for _ in range(50)] == \
+               [b.next_taken() for _ in range(50)]
+
+    def test_reset_replays(self):
+        behavior = BiasedRandomBehavior(0.5, seed=9)
+        first = [behavior.next_taken() for _ in range(30)]
+        behavior.reset()
+        assert [behavior.next_taken() for _ in range(30)] == first
+
+    def test_bias_respected(self):
+        behavior = BiasedRandomBehavior(0.9, seed=1)
+        outcomes = [behavior.next_taken() for _ in range(2000)]
+        assert 0.85 < sum(outcomes) / len(outcomes) < 0.95
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ValueError):
+            BiasedRandomBehavior(1.5, seed=0)
+
+
+class TestIndirectBehavior:
+    def test_targets_in_range(self):
+        behavior = IndirectBehavior(n_targets=4, switch_period=10, seed=3)
+        for _ in range(100):
+            assert 0 <= behavior.next_target() < 4
+
+    def test_mostly_monomorphic(self):
+        behavior = IndirectBehavior(n_targets=8, switch_period=100, seed=3)
+        targets = [behavior.next_target() for _ in range(100)]
+        # Within one switch period the target is stable.
+        assert len(set(targets[:99])) <= 2
+
+    def test_reset(self):
+        behavior = IndirectBehavior(n_targets=5, switch_period=7, seed=11)
+        first = [behavior.next_target() for _ in range(40)]
+        behavior.reset()
+        assert [behavior.next_target() for _ in range(40)] == first
+
+
+class TestStridedStream:
+    def test_sequential_and_wraps(self):
+        stream = StridedStream(base=100, stride=8, length=24)
+        addresses = [stream.next_address() for _ in range(6)]
+        assert addresses == [100, 108, 116, 100, 108, 116]
+
+    def test_reset(self):
+        stream = StridedStream(base=0, stride=4, length=64)
+        first = [stream.next_address() for _ in range(10)]
+        stream.reset()
+        assert [stream.next_address() for _ in range(10)] == first
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            StridedStream(base=0, stride=0, length=64)
+
+
+class TestRandomStream:
+    def test_stays_in_working_set(self):
+        stream = RandomStream(base=1000, working_set=256, align=8, seed=5)
+        for _ in range(200):
+            address = stream.next_address()
+            assert 1000 <= address < 1000 + 256
+            assert address % 8 == 0
+
+    def test_deterministic(self):
+        a = RandomStream(base=0, working_set=4096, seed=2)
+        b = RandomStream(base=0, working_set=4096, seed=2)
+        assert [a.next_address() for _ in range(30)] == \
+               [b.next_address() for _ in range(30)]
+
+
+class TestPointerChaseStream:
+    def test_addresses_node_aligned_in_range(self):
+        stream = PointerChaseStream(base=0, n_nodes=16, node_bytes=64,
+                                    seed=3)
+        for _ in range(100):
+            address = stream.next_address()
+            assert 0 <= address < 16 * 64
+            assert address % 64 == 0
+
+    def test_reset(self):
+        stream = PointerChaseStream(base=0, n_nodes=37, seed=5)
+        first = [stream.next_address() for _ in range(50)]
+        stream.reset()
+        assert [stream.next_address() for _ in range(50)] == first
+
+
+class TestFactories:
+    def test_make_branch_behavior_kinds(self):
+        rng = random.Random(0)
+        assert isinstance(make_branch_behavior("loop", rng), LoopBehavior)
+        assert isinstance(make_branch_behavior("pattern", rng),
+                          PatternBehavior)
+        assert isinstance(make_branch_behavior("random", rng, p_taken=0.4),
+                          BiasedRandomBehavior)
+        with pytest.raises(ValueError):
+            make_branch_behavior("bogus", rng)
+
+    def test_make_memory_stream_kinds(self):
+        rng = random.Random(0)
+        for kind, cls in (("strided", StridedStream),
+                          ("random", RandomStream),
+                          ("chase", PointerChaseStream),
+                          ("hot", RandomStream)):
+            stream = make_memory_stream(kind, rng, base=0,
+                                        working_set=8192)
+            assert isinstance(stream, cls)
+        with pytest.raises(ValueError):
+            make_memory_stream("bogus", rng, base=0, working_set=1024)
+
+    def test_hot_stream_is_small(self):
+        rng = random.Random(1)
+        stream = make_memory_stream("hot", rng, base=0,
+                                    working_set=1 << 20)
+        for _ in range(100):
+            assert stream.next_address() < 2048

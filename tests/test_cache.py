@@ -1,0 +1,130 @@
+"""Unit and property tests for the set-associative cache."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import CacheConfig
+from repro.cache.cache import SetAssociativeCache
+
+
+def _cache(size=1024, assoc=2, line=32, latency=1):
+    return SetAssociativeCache(CacheConfig("test", size, assoc, line,
+                                           latency))
+
+
+class TestBasics:
+    def test_cold_miss_then_hit(self):
+        cache = _cache()
+        assert cache.access(0x100) is False
+        assert cache.access(0x100) is True
+
+    def test_same_line_hits(self):
+        cache = _cache(line=32)
+        cache.access(0x100)
+        assert cache.access(0x11F) is True  # same 32-byte line
+        assert cache.access(0x120) is False  # next line
+
+    def test_counters(self):
+        cache = _cache()
+        cache.access(0)
+        cache.access(0)
+        cache.access(64)
+        assert cache.accesses == 3
+        assert cache.misses == 2
+        assert cache.miss_rate == pytest.approx(2 / 3)
+
+    def test_miss_rate_zero_when_unused(self):
+        assert _cache().miss_rate == 0.0
+
+    def test_reset_statistics(self):
+        cache = _cache()
+        cache.access(0)
+        cache.reset_statistics()
+        assert cache.accesses == 0
+        assert cache.misses == 0
+
+    def test_probe_does_not_mutate(self):
+        cache = _cache()
+        cache.access(0)
+        accesses = cache.accesses
+        assert cache.probe(0) is True
+        assert cache.probe(4096) is False
+        assert cache.accesses == accesses
+
+
+class TestReplacement:
+    def test_lru_eviction(self):
+        # 2-way, line 32, size 64 -> exactly one set with 2 ways.
+        cache = _cache(size=64, assoc=2, line=32)
+        cache.access(0)       # line 0
+        cache.access(32)      # line 1
+        cache.access(0)       # refresh line 0
+        cache.access(64)      # evicts line 1 (LRU)
+        assert cache.probe(0)
+        assert not cache.probe(32)
+        assert cache.probe(64)
+
+    def test_direct_mapped_conflicts(self):
+        cache = _cache(size=64, assoc=1, line=32)  # 2 sets
+        cache.access(0)
+        cache.access(64)  # same set as 0 -> evicts
+        assert not cache.probe(0)
+
+    def test_occupancy_bounded(self):
+        cache = _cache(size=256, assoc=2, line=32)  # 8 lines total
+        for i in range(100):
+            cache.access(i * 32)
+        assert cache.occupancy() <= 8
+
+    def test_contents_snapshot(self):
+        cache = _cache(size=64, assoc=2, line=32)
+        cache.access(0)
+        contents = cache.contents()
+        assert 0 in contents
+        assert contents[0] == [0]
+
+
+class TestValidation:
+    def test_rejects_non_power_of_two_line(self):
+        with pytest.raises(ValueError):
+            _cache(size=96, assoc=1, line=24)
+
+    def test_config_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            CacheConfig("bad", 100, 3, 32, 1)
+        with pytest.raises(ValueError):
+            CacheConfig("bad", 0, 1, 32, 1)
+
+
+class TestProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(0, 1 << 16), min_size=1, max_size=300))
+    def test_counters_consistent(self, addresses):
+        cache = _cache(size=512, assoc=4, line=32)
+        for address in addresses:
+            cache.access(address)
+        assert cache.accesses == len(addresses)
+        assert 0 <= cache.misses <= cache.accesses
+        assert cache.occupancy() <= 512 // 32
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.integers(0, 1 << 14), min_size=2, max_size=200))
+    def test_repeat_access_hits(self, addresses):
+        cache = _cache(size=4096, assoc=4, line=32)
+        for address in addresses:
+            cache.access(address)
+        # Immediately repeating the last address always hits.
+        assert cache.access(addresses[-1]) is True
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.integers(0, 1 << 16), min_size=1, max_size=200),
+           st.integers(1, 4))
+    def test_bigger_cache_never_more_misses(self, addresses, factor):
+        small = _cache(size=256, assoc=2, line=32)
+        # LRU caches with more ways per set (same sets) are inclusive:
+        # scaling associativity cannot add misses.
+        big = _cache(size=256 * factor, assoc=2 * factor, line=32)
+        small_misses = sum(not small.access(a) for a in addresses)
+        big_misses = sum(not big.access(a) for a in addresses)
+        assert big_misses <= small_misses

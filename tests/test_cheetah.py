@@ -1,0 +1,62 @@
+"""Tests for the single-pass stack-distance profiler (cheetah-style)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import CacheConfig
+from repro.cache.cache import SetAssociativeCache
+from repro.cache.cheetah import StackDistanceProfiler
+
+
+class TestStackDistances:
+    def test_repeat_access_distance_zero(self):
+        profiler = StackDistanceProfiler(line_bytes=32)
+        profiler.access(0)
+        profiler.access(0)
+        assert profiler.miss_rate(1) == pytest.approx(0.5)
+
+    def test_all_distinct_all_miss(self):
+        profiler = StackDistanceProfiler(line_bytes=32)
+        profiler.profile(i * 32 for i in range(50))
+        assert profiler.miss_rate(1000) == 1.0
+
+    def test_miss_rate_monotone_in_capacity(self):
+        profiler = StackDistanceProfiler(line_bytes=32)
+        import random
+        rng = random.Random(3)
+        profiler.profile(rng.randrange(1 << 12) for _ in range(2000))
+        rates = profiler.miss_rates([1, 2, 4, 8, 16, 32, 64, 128])
+        values = list(rates.values())
+        for a, b in zip(values, values[1:]):
+            assert b <= a
+
+    def test_rejects_bad_capacity(self):
+        profiler = StackDistanceProfiler()
+        with pytest.raises(ValueError):
+            profiler.miss_rate(0)
+
+    def test_rejects_bad_line(self):
+        with pytest.raises(ValueError):
+            StackDistanceProfiler(line_bytes=24)
+
+    def test_empty_profile(self):
+        assert StackDistanceProfiler().miss_rate(4) == 0.0
+
+
+class TestEquivalenceWithFullyAssociativeLRU:
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.integers(0, 1 << 11), min_size=1, max_size=300),
+           st.sampled_from([1, 2, 4, 8]))
+    def test_matches_fully_associative_cache(self, addresses, lines):
+        """Mattson's inclusion property: the single-pass profile must
+        reproduce a fully-associative LRU cache of any capacity."""
+        profiler = StackDistanceProfiler(line_bytes=32)
+        cache = SetAssociativeCache(
+            CacheConfig("fa", lines * 32, lines, 32, 1))  # 1 set
+        misses = 0
+        for address in addresses:
+            profiler.access(address)
+            misses += not cache.access(address)
+        assert profiler.miss_rate(lines) == \
+            pytest.approx(misses / len(addresses))

@@ -1,0 +1,48 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, main
+
+
+class TestParser:
+    def test_requires_command(self, capsys):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "fig99"])
+
+    def test_experiment_registry_complete(self):
+        # Every evaluation section of the paper plus the extensions.
+        assert {"table1", "fig3", "fig4", "table3", "fig5", "fig6",
+                "sec41", "fig7", "fig8", "table4", "sec46"} <= \
+            set(EXPERIMENTS)
+
+
+class TestCommands:
+    def test_benchmarks(self, capsys):
+        assert main(["benchmarks"]) == 0
+        output = capsys.readouterr().out
+        for name in ("bzip2", "gcc", "vpr"):
+            assert name in output
+
+    def test_simulate(self, capsys):
+        code = main(["simulate", "gzip", "--instructions", "4000",
+                     "--warmup", "2000", "-R", "4"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "execution-driven" in output
+        assert "IPC error" in output
+
+    def test_profile_and_synthesize(self, tmp_path, capsys):
+        path = tmp_path / "p.json"
+        assert main(["profile", "vpr", "-o", str(path),
+                     "--instructions", "4000", "--warmup", "2000"]) == 0
+        assert path.exists()
+        assert main(["synthesize", str(path), "-R", "4",
+                     "--simulate"]) == 0
+        output = capsys.readouterr().out
+        assert "synthetic trace" in output
+        assert "IPC" in output

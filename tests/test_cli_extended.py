@@ -1,0 +1,62 @@
+"""Tests for the extended CLI commands (trace, analyze, validate,
+report)."""
+
+import pytest
+
+import repro.cli as cli
+import repro.experiments.common as common
+from repro.cli import main
+from repro.experiments.common import ExperimentScale
+
+TINY = ExperimentScale(warmup=2000, reference=4000, reduction_factor=4.0,
+                       seeds=(0,), benchmarks=("gzip", "twolf"))
+
+
+@pytest.fixture
+def saved_profile(tmp_path):
+    path = tmp_path / "p.json"
+    assert main(["profile", "gzip", "-o", str(path), "--instructions",
+                 "4000", "--warmup", "2000"]) == 0
+    return path
+
+
+class TestTraceCommand:
+    def test_record_and_reload(self, tmp_path, capsys):
+        path = tmp_path / "t.bin"
+        assert main(["trace", "gzip", "-o", str(path),
+                     "--instructions", "3000"]) == 0
+        from repro.frontend.tracefile import load_trace
+
+        assert len(load_trace(path)) == 3000
+
+
+class TestAnalyzeCommand:
+    def test_analyze(self, saved_profile, capsys):
+        assert main(["analyze", str(saved_profile), "-R", "4"]) == 0
+        output = capsys.readouterr().out
+        assert "transition entropy" in output
+        assert "hottest contexts" in output
+        assert "reduced at R=4" in output
+
+
+class TestValidateCommand:
+    def test_validate(self, saved_profile, capsys):
+        assert main(["validate", str(saved_profile), "-R", "2"]) == 0
+        output = capsys.readouterr().out
+        assert "load_fraction" in output
+        assert "drift" in output
+
+
+class TestReportCommand:
+    def test_report_subset(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setattr(common, "QUICK_SCALE", TINY)
+        monkeypatch.setattr(cli, "EXPERIMENTS",
+                            {"table3": "table3_sfg_size",
+                             "table1": "table1_baseline"})
+        path = tmp_path / "report.md"
+        assert main(["report", "-o", str(path), "--scale", "quick"]) == 0
+        text = path.read_text()
+        assert "# repro experiment report" in text
+        assert "## table1" in text
+        assert "## table3" in text
+        assert "benchmark" in text

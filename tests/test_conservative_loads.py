@@ -1,0 +1,67 @@
+"""Tests for conservative memory disambiguation."""
+
+from dataclasses import replace
+
+from repro.config import baseline_config
+from repro.isa.iclass import IClass
+from repro.cpu.pipeline import simulate
+from repro.cpu.source import ExecutionDrivenSource, FetchSlot, \
+    PreannotatedSource
+
+
+def _slots_store_then_loads(store_latency=1):
+    slots = []
+    for _ in range(50):
+        slots.append(FetchSlot(IClass.STORE,
+                               exec_latency=store_latency))
+        slots.extend(FetchSlot(IClass.LOAD, exec_latency=2)
+                     for _ in range(4))
+    return slots
+
+
+class TestConservativeLoads:
+    def test_never_faster(self, small_trace, config):
+        conservative = replace(config, conservative_loads=True)
+        fast = simulate(config,
+                        ExecutionDrivenSource(small_trace, config))
+        slow = simulate(conservative,
+                        ExecutionDrivenSource(small_trace, conservative))
+        assert slow.ipc <= fast.ipc + 1e-9
+        assert slow.instructions == fast.instructions
+
+    def test_late_store_blocks_following_load_chain(self):
+        # A store waits on a 20-cycle divide; a load chain follows.
+        # Speculatively, the chain starts immediately; conservatively
+        # it starts only after the store executes.
+        def group():
+            slots = [FetchSlot(IClass.INT_DIV, exec_latency=20),
+                     FetchSlot(IClass.STORE, exec_latency=1,
+                               dep_distances=(1,)),
+                     FetchSlot(IClass.LOAD, exec_latency=2)]
+            slots.extend(FetchSlot(IClass.INT_ALU, exec_latency=1,
+                                   dep_distances=(1,)) for _ in range(5))
+            return slots
+
+        slots = [slot for _ in range(10) for slot in group()]
+        config = baseline_config()
+        conservative = replace(config, conservative_loads=True)
+        fast = simulate(config, PreannotatedSource(list(slots)))
+        slow = simulate(conservative, PreannotatedSource(list(slots)))
+        assert slow.cycles > fast.cycles
+
+    def test_fast_stores_cost_little(self):
+        config = baseline_config()
+        conservative = replace(config, conservative_loads=True)
+        slots = _slots_store_then_loads(store_latency=1)
+        fast = simulate(config, PreannotatedSource(list(slots)))
+        slow = simulate(conservative, PreannotatedSource(list(slots)))
+        assert slow.cycles < fast.cycles * 2
+
+    def test_loads_without_stores_unaffected(self):
+        config = baseline_config()
+        conservative = replace(config, conservative_loads=True)
+        slots = [FetchSlot(IClass.LOAD, exec_latency=2)
+                 for _ in range(200)]
+        fast = simulate(config, PreannotatedSource(list(slots)))
+        slow = simulate(conservative, PreannotatedSource(list(slots)))
+        assert slow.cycles == fast.cycles

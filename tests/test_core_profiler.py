@@ -1,0 +1,159 @@
+"""Tests for statistical profiling (paper section 2.1) on analytically
+checkable programs."""
+
+import pytest
+
+from repro.isa.iclass import IClass
+from repro.frontend.functional import run_program
+from repro.core.profiler import profile_trace
+from repro.core.sfg import START_BLOCK
+
+from conftest import make_tiny_program
+
+
+@pytest.fixture
+def tiny_profile(tiny_trace, config):
+    return profile_trace(tiny_trace, config, order=1)
+
+
+class TestStructure:
+    def test_contexts_of_tiny_loop(self, tiny_profile):
+        # Block sequence: 0 0 0 0 1 | 0 0 0 0 1 ... (trip 4).
+        # Order-1 contexts: (0,0), (0,1), (1,0) and the start (-1,0).
+        keys = set(tiny_profile.sfg.contexts)
+        assert (0, 0) in keys
+        assert (0, 1) in keys
+        assert (1, 0) in keys
+        assert (START_BLOCK, 0) in keys
+        assert len(keys) == 4
+
+    def test_occurrence_counts(self, tiny_trace, config):
+        profile = profile_trace(tiny_trace, config, order=1)
+        sfg = profile.sfg
+        blocks = tiny_trace.basic_block_sequence()
+        assert sfg.total_block_executions == len(blocks)
+        # (0,0) occurs 3 times per 5-block period (trip 4).
+        period_count = blocks.count(0) + blocks.count(1)
+        occ = sfg.contexts[(0, 0)].occurrences
+        assert occ == sum(1 for a, b in zip(blocks, blocks[1:])
+                          if (a, b) == (0, 0))
+
+    def test_transition_probabilities(self, tiny_profile):
+        sfg = tiny_profile.sfg
+        # From block 0 the loop continues 3 of 4 times.
+        p_loop = sfg.transition_probability((0,), 0)
+        assert 0.7 < p_loop < 0.8
+        assert sfg.transition_probability((1,), 0) == 1.0
+
+    def test_order_zero_contexts_are_blocks(self, tiny_trace, config):
+        profile = profile_trace(tiny_trace, config, order=0)
+        assert set(profile.sfg.contexts) == {(0,), (1,)}
+
+    def test_higher_order_grows_contexts(self, small_trace, config):
+        nodes = [profile_trace(small_trace, config, order=k,
+                               branch_mode="perfect",
+                               perfect_caches=True).num_nodes
+                 for k in (0, 1, 2)]
+        assert nodes[0] <= nodes[1] <= nodes[2]
+
+    def test_partial_trailing_block_dropped(self, tiny_program, config):
+        # 7 instructions = 2 full blocks (3+3) + 1 trailing instruction.
+        trace = run_program(tiny_program, n_instructions=7)
+        profile = profile_trace(trace, config, order=0)
+        assert profile.sfg.total_block_executions == 2
+
+    def test_instruction_types_recorded(self, tiny_profile):
+        stats = tiny_profile.sfg.contexts[(0, 0)]
+        assert stats.iclasses == [IClass.LOAD, IClass.INT_ALU,
+                                  IClass.INT_COND_BRANCH]
+        assert stats.n_src == [1, 1, 1]
+
+
+class TestDependencies:
+    def test_intra_block_distances(self, tiny_profile):
+        stats = tiny_profile.sfg.contexts[(0, 0)]
+        # Slot 1 (alu) reads r1 written by slot 0 (load): distance 1.
+        assert set(stats.dep_hists[1][0]) == {1}
+        # Slot 2 (branch) reads r2 written by slot 1: distance 1.
+        assert set(stats.dep_hists[2][0]) == {1}
+
+    def test_cross_block_distance(self, tiny_profile):
+        # Block 1 slot 0 reads r2, written by the alu two dynamic
+        # instructions earlier (in block 0).
+        stats = tiny_profile.sfg.contexts[(0, 1)]
+        assert set(stats.dep_hists[0][0]) == {2}
+
+    def test_first_read_unrecorded(self, tiny_profile):
+        # The load reads r4 which nothing ever writes.
+        stats = tiny_profile.sfg.contexts[(0, 0)]
+        assert stats.dep_hists[0][0] == {}
+
+
+class TestLocalityAnnotations:
+    def test_perfect_caches_no_events(self, tiny_trace, config):
+        profile = profile_trace(tiny_trace, config, order=1,
+                                perfect_caches=True)
+        for stats in profile.sfg.contexts.values():
+            assert sum(stats.il1) == 0
+            assert sum(stats.dl1) == 0
+
+    def test_cache_events_recorded(self, tiny_trace, config):
+        profile = profile_trace(tiny_trace, config, order=1)
+        total_il1 = sum(sum(stats.il1)
+                        for stats in profile.sfg.contexts.values())
+        # Cold start guarantees at least one instruction miss.
+        assert total_il1 >= 1
+
+    def test_load_events_only_on_load_slots(self, tiny_profile):
+        for stats in tiny_profile.sfg.contexts.values():
+            for slot, iclass in enumerate(stats.iclasses):
+                if iclass is not IClass.LOAD:
+                    assert stats.dl1[slot] == 0
+                    assert stats.l2d[slot] == 0
+                    assert stats.dtlb[slot] == 0
+
+    def test_branch_outcomes_sum_to_occurrences(self, tiny_profile):
+        for stats in tiny_profile.sfg.contexts.values():
+            assert sum(stats.outcome_counts) == stats.occurrences
+
+    def test_taken_counts(self, tiny_profile):
+        # Block 1's branch is always taken (pattern "T").
+        stats = tiny_profile.sfg.contexts[(0, 1)]
+        assert stats.taken == stats.occurrences
+
+    def test_perfect_branch_mode(self, tiny_trace, config):
+        profile = profile_trace(tiny_trace, config, order=1,
+                                branch_mode="perfect")
+        for stats in profile.sfg.contexts.values():
+            correct, redirect, mispredict = stats.outcome_counts
+            assert redirect == 0 and mispredict == 0
+
+
+class TestModes:
+    def test_invalid_branch_mode(self, tiny_trace, config):
+        with pytest.raises(ValueError):
+            profile_trace(tiny_trace, config, branch_mode="bogus")
+
+    def test_invalid_order(self, tiny_trace, config):
+        with pytest.raises(ValueError):
+            profile_trace(tiny_trace, config, order=-1)
+
+    def test_metadata(self, tiny_profile, tiny_trace):
+        assert tiny_profile.name == tiny_trace.name
+        assert tiny_profile.order == 1
+        assert tiny_profile.trace_instructions == len(tiny_trace)
+        assert tiny_profile.branch_mode == "delayed"
+
+    def test_warmup_changes_cache_annotations(self, tiny_program,
+                                              config):
+        from repro.frontend.warming import run_program_with_warmup
+
+        warm, trace = run_program_with_warmup(tiny_program, warmup=400,
+                                              n_instructions=300)
+        cold = profile_trace(trace, config, order=1)
+        warmed = profile_trace(trace, config, order=1, warmup_trace=warm)
+        cold_misses = sum(sum(s.il1) + sum(s.dl1)
+                          for s in cold.sfg.contexts.values())
+        warm_misses = sum(sum(s.il1) + sum(s.dl1)
+                          for s in warmed.sfg.contexts.values())
+        assert warm_misses <= cold_misses

@@ -1,0 +1,89 @@
+"""Tests for the functional simulator and warm windows."""
+
+from repro.frontend.functional import FunctionalSimulator, run_program
+from repro.frontend.warming import run_program_with_warmup
+from repro.isa.iclass import IClass
+
+from conftest import make_tiny_program
+
+
+class TestFunctionalSimulator:
+    def test_trace_length(self, tiny_program):
+        trace = run_program(tiny_program, n_instructions=100)
+        assert len(trace) == 100
+
+    def test_sequence_numbers_dense(self, tiny_trace):
+        assert [inst.seq for inst in tiny_trace] == \
+            list(range(len(tiny_trace)))
+
+    def test_tiny_program_block_pattern(self, tiny_program):
+        # Loop body (block 0) executes trip_count times per exit visit.
+        trace = run_program(tiny_program, n_instructions=3 * 4 + 2)
+        blocks = trace.basic_block_sequence()
+        assert blocks == [0, 0, 0, 0, 1][:len(blocks)]
+
+    def test_branch_targets_match_blocks(self, tiny_program):
+        trace = run_program(tiny_program, n_instructions=200)
+        instructions = trace.instructions
+        for i, inst in enumerate(instructions[:-1]):
+            if inst.is_branch:
+                assert inst.target == instructions[i + 1].pc
+
+    def test_taken_flag_consistent_with_control_flow(self, tiny_program):
+        trace = run_program(tiny_program, n_instructions=200)
+        for inst in trace:
+            if inst.is_branch and inst.iclass is IClass.INT_COND_BRANCH:
+                block = tiny_program.blocks[inst.bb_id]
+                expected = (tiny_program.blocks[block.taken_target].address
+                            if inst.taken else
+                            tiny_program.blocks[block.fallthrough].address)
+                assert inst.target == expected
+
+    def test_loads_have_addresses(self, tiny_trace):
+        for inst in tiny_trace:
+            if inst.is_load or inst.is_store:
+                assert inst.mem_addr is not None
+            else:
+                assert inst.mem_addr is None
+
+    def test_pc_matches_block_layout(self, tiny_program):
+        trace = run_program(tiny_program, n_instructions=50)
+        for inst in trace:
+            block = tiny_program.blocks[inst.bb_id]
+            offset = (inst.pc - block.address) // 8
+            assert 0 <= offset < block.size
+
+    def test_reset_replays(self, tiny_program):
+        sim = FunctionalSimulator(tiny_program)
+        first = [inst.pc for inst in sim.run(100)]
+        sim.reset()
+        second = [inst.pc for inst in sim.run(100)]
+        assert first == second
+
+    def test_run_resumes_where_it_stopped(self, tiny_program):
+        sim = FunctionalSimulator(tiny_program)
+        part1 = [inst.pc for inst in sim.run(60)]
+        part2 = [inst.pc for inst in sim.run(60)]
+        sim.reset()
+        whole = [inst.pc for inst in sim.run(120)]
+        assert part1 + part2 == whole
+
+
+class TestWarmup:
+    def test_run_program_warmup_renumbers(self, tiny_program):
+        trace = run_program(tiny_program, n_instructions=50, warmup=30)
+        assert [inst.seq for inst in trace] == list(range(50))
+
+    def test_warmup_is_contiguous(self, tiny_program):
+        warm, measured = run_program_with_warmup(tiny_program, warmup=40,
+                                                 n_instructions=40)
+        total = len(warm) + len(measured)
+        full = run_program(tiny_program, n_instructions=total)
+        assert [i.pc for i in warm] + [i.pc for i in measured] == \
+            [i.pc for i in full]
+
+    def test_warmup_trace_named(self, tiny_program):
+        warm, measured = run_program_with_warmup(tiny_program, warmup=10,
+                                                 n_instructions=10)
+        assert "warmup" in warm.name
+        assert measured.name == tiny_program.name

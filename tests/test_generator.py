@@ -1,0 +1,148 @@
+"""Unit and property tests for the workload program generator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa.iclass import BRANCH_CLASSES, IClass
+from repro.workloads.generator import (
+    DEFAULT_MIX,
+    WorkloadConfig,
+    generate_program,
+)
+
+
+class TestWorkloadConfigValidation:
+    def test_defaults_valid(self):
+        WorkloadConfig(name="x", seed=1)
+
+    def test_too_few_blocks(self):
+        with pytest.raises(ValueError):
+            WorkloadConfig(name="x", seed=1, n_blocks=1)
+
+    def test_branch_fractions(self):
+        with pytest.raises(ValueError):
+            WorkloadConfig(name="x", seed=1, loop_fraction=0.8,
+                           pattern_fraction=0.5)
+
+    def test_indirect_fraction_bounds(self):
+        with pytest.raises(ValueError):
+            WorkloadConfig(name="x", seed=1, indirect_fraction=0.9)
+
+    def test_mix_must_exclude_branches(self):
+        with pytest.raises(ValueError):
+            WorkloadConfig(name="x", seed=1,
+                           instruction_mix={IClass.INT_COND_BRANCH: 1.0})
+
+    def test_empty_mix_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadConfig(name="x", seed=1,
+                           instruction_mix={IClass.LOAD: 0.0})
+
+
+class TestGenerateProgram:
+    def test_deterministic(self):
+        config = WorkloadConfig(name="d", seed=123, n_blocks=10)
+        a = generate_program(config)
+        b = generate_program(config)
+        assert a.num_blocks == b.num_blocks
+        for block_a, block_b in zip(a.blocks, b.blocks):
+            assert block_a.address == block_b.address
+            assert [i.iclass for i in block_a.instructions] == \
+                   [i.iclass for i in block_b.instructions]
+
+    def test_different_seeds_differ(self):
+        a = generate_program(WorkloadConfig(name="a", seed=1, n_blocks=20))
+        b = generate_program(WorkloadConfig(name="b", seed=2, n_blocks=20))
+        layout_a = [i.iclass for block in a.blocks
+                    for i in block.instructions]
+        layout_b = [i.iclass for block in b.blocks
+                    for i in block.instructions]
+        assert layout_a != layout_b
+
+    def test_block_count(self, small_workload_config):
+        program = generate_program(small_workload_config)
+        assert program.num_blocks == small_workload_config.n_blocks
+
+    def test_every_block_ends_in_branch(self, small_program):
+        for block in small_program.blocks:
+            assert block.branch.iclass in BRANCH_CLASSES
+
+    def test_behaviors_cover_blocks(self, small_program):
+        assert len(small_program.branch_behaviors) == \
+            small_program.num_blocks
+        for block in small_program.blocks:
+            assert 0 <= block.branch_behavior < len(
+                small_program.branch_behaviors)
+
+    def test_memory_streams_referenced_exist(self, small_program):
+        n = len(small_program.memory_streams)
+        for block in small_program.blocks:
+            for inst in block.instructions:
+                if inst.mem_stream is not None:
+                    assert 0 <= inst.mem_stream < n
+
+    def test_loads_and_stores_have_streams(self, small_program):
+        for block in small_program.blocks:
+            for inst in block.instructions:
+                if inst.iclass in (IClass.LOAD, IClass.STORE):
+                    assert inst.mem_stream is not None
+                elif inst.iclass not in BRANCH_CLASSES:
+                    assert inst.mem_stream is None
+
+    def test_code_footprint_respected(self):
+        config = WorkloadConfig(name="fp", seed=5, n_blocks=16,
+                                code_footprint_kb=64)
+        program = generate_program(config)
+        last = program.blocks[-1]
+        span = last.address + last.size * 8 - program.blocks[0].address
+        assert span >= 0.8 * 64 * 1024
+
+    def test_addresses_do_not_overlap(self, small_program):
+        previous_end = 0
+        for block in small_program.blocks:
+            assert block.address >= previous_end
+            previous_end = block.address + block.size * 8
+
+    def test_indirect_blocks_fraction(self):
+        config = WorkloadConfig(name="ind", seed=9, n_blocks=50,
+                                indirect_fraction=0.2)
+        program = generate_program(config)
+        indirect = sum(block.is_indirect for block in program.blocks)
+        assert indirect == round(0.2 * 50)
+        for block in program.blocks:
+            if block.is_indirect:
+                assert len(block.indirect_targets) >= 2
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 2**20), n_blocks=st.integers(4, 40),
+           mean=st.integers(2, 12))
+    def test_generated_programs_always_valid(self, seed, n_blocks, mean):
+        config = WorkloadConfig(name="h", seed=seed, n_blocks=n_blocks,
+                                mean_block_size=mean)
+        program = generate_program(config)  # Program.__post_init__ checks
+        assert program.num_blocks == n_blocks
+        reachable = program.validate_reachability()
+        assert 0 in reachable
+
+    def test_static_mix_approximates_target(self):
+        config = WorkloadConfig(name="mix", seed=3, n_blocks=60,
+                                mean_block_size=8)
+        program = generate_program(config)
+        body = [inst.iclass for block in program.blocks
+                for inst in block.instructions
+                if inst.iclass not in BRANCH_CLASSES]
+        load_fraction = body.count(IClass.LOAD) / len(body)
+        target = DEFAULT_MIX[IClass.LOAD]
+        assert 0.6 * target < load_fraction < 1.4 * target
+
+    def test_execution_exercises_memory(self, small_program):
+        from repro.frontend.functional import run_program
+
+        trace = run_program(small_program, n_instructions=5000)
+        mix = trace.instruction_mix()
+        # Dynamic mixes are skewed by hot loops, but loads must appear
+        # and branches cannot dominate outright (blocks have bodies).
+        assert mix.get(IClass.LOAD, 0.0) > 0.01
+        branch_fraction = sum(mix.get(c, 0.0) for c in BRANCH_CLASSES)
+        assert branch_fraction <= 0.5

@@ -1,0 +1,72 @@
+"""Unit tests for the instruction-class taxonomy."""
+
+import pytest
+
+from repro.isa.iclass import (
+    BRANCH_CLASSES,
+    CONDITIONAL_BRANCH_CLASSES,
+    MEMORY_CLASSES,
+    PRODUCING_CLASSES,
+    FunctionalUnit,
+    IClass,
+    execution_latency,
+    functional_unit,
+    is_branch,
+    produces_register,
+)
+
+
+def test_twelve_classes():
+    # The paper's section 2.1.1 defines exactly 12 semantic classes.
+    assert len(IClass) == 12
+
+
+def test_branch_classes_partition():
+    assert BRANCH_CLASSES == {IClass.INT_COND_BRANCH, IClass.FP_COND_BRANCH,
+                              IClass.INDIRECT_BRANCH}
+    assert CONDITIONAL_BRANCH_CLASSES < BRANCH_CLASSES
+    assert IClass.INDIRECT_BRANCH not in CONDITIONAL_BRANCH_CLASSES
+
+
+def test_memory_classes():
+    assert MEMORY_CLASSES == {IClass.LOAD, IClass.STORE}
+
+
+def test_producing_classes_exclude_branches_and_stores():
+    # Paper section 2.2 step 4: branches and stores have no destination
+    # operand, so no dependency may point at them.
+    assert not PRODUCING_CLASSES & BRANCH_CLASSES
+    assert IClass.STORE not in PRODUCING_CLASSES
+    assert IClass.LOAD in PRODUCING_CLASSES
+    # Everything else produces a register.
+    assert len(PRODUCING_CLASSES) == 12 - 3 - 1
+
+
+@pytest.mark.parametrize("iclass", list(IClass))
+def test_every_class_has_unit_and_latency(iclass):
+    assert isinstance(functional_unit(iclass), FunctionalUnit)
+    assert execution_latency(iclass) >= 1
+
+
+def test_memory_classes_use_load_store_units():
+    assert functional_unit(IClass.LOAD) is FunctionalUnit.LOAD_STORE
+    assert functional_unit(IClass.STORE) is FunctionalUnit.LOAD_STORE
+
+
+def test_long_latency_ops_are_slower_than_alu():
+    alu = execution_latency(IClass.INT_ALU)
+    for slow in (IClass.INT_DIV, IClass.FP_DIV, IClass.FP_SQRT,
+                 IClass.INT_MULT, IClass.FP_MULT):
+        assert execution_latency(slow) > alu
+
+
+def test_is_branch_helper():
+    assert is_branch(IClass.INT_COND_BRANCH)
+    assert is_branch(IClass.INDIRECT_BRANCH)
+    assert not is_branch(IClass.LOAD)
+
+
+def test_produces_register_helper():
+    assert produces_register(IClass.FP_SQRT)
+    assert not produces_register(IClass.STORE)
+    assert not produces_register(IClass.FP_COND_BRANCH)

@@ -1,0 +1,68 @@
+"""Unit tests for static/dynamic instruction representations."""
+
+import pytest
+
+from repro.isa.iclass import IClass
+from repro.isa.instruction import DynamicInstruction, StaticInstruction
+
+
+class TestStaticInstruction:
+    def test_basic_alu(self):
+        inst = StaticInstruction(IClass.INT_ALU, src_regs=(1, 2), dst_reg=3)
+        assert inst.produces_register
+        assert not inst.is_branch
+        assert not inst.is_load
+        assert not inst.is_store
+
+    def test_load_with_stream(self):
+        inst = StaticInstruction(IClass.LOAD, src_regs=(1,), dst_reg=2,
+                                 mem_stream=0)
+        assert inst.is_load
+        assert inst.mem_stream == 0
+
+    def test_store_has_no_destination(self):
+        with pytest.raises(ValueError):
+            StaticInstruction(IClass.STORE, src_regs=(1, 2), dst_reg=3)
+
+    def test_branch_has_no_destination(self):
+        with pytest.raises(ValueError):
+            StaticInstruction(IClass.INT_COND_BRANCH, src_regs=(1,),
+                              dst_reg=2)
+
+    def test_branch_flag(self):
+        inst = StaticInstruction(IClass.INDIRECT_BRANCH, src_regs=(1,))
+        assert inst.is_branch
+        assert not inst.produces_register
+
+    def test_frozen(self):
+        inst = StaticInstruction(IClass.INT_ALU, src_regs=(), dst_reg=1)
+        with pytest.raises(AttributeError):
+            inst.dst_reg = 5
+
+
+class TestDynamicInstruction:
+    def test_fields(self):
+        inst = DynamicInstruction(seq=7, pc=0x1000, iclass=IClass.LOAD,
+                                  bb_id=3, src_regs=(1,), dst_reg=2,
+                                  mem_addr=0xCAFE)
+        assert inst.seq == 7
+        assert inst.is_load
+        assert not inst.is_branch
+        assert inst.mem_addr == 0xCAFE
+
+    def test_branch_outcome_fields(self):
+        inst = DynamicInstruction(seq=0, pc=0x1000,
+                                  iclass=IClass.INT_COND_BRANCH,
+                                  bb_id=0, taken=True, target=0x2000)
+        assert inst.is_branch
+        assert inst.taken
+        assert inst.target == 0x2000
+
+    def test_slots_prevent_arbitrary_attributes(self):
+        inst = DynamicInstruction(0, 0, IClass.INT_ALU, 0)
+        with pytest.raises(AttributeError):
+            inst.bogus = 1
+
+    def test_repr_mentions_class(self):
+        inst = DynamicInstruction(0, 0x1000, IClass.FP_MULT, 2)
+        assert "FP_MULT" in repr(inst)

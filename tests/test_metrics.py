@@ -1,0 +1,69 @@
+"""Tests for the accuracy metrics of the paper's evaluation."""
+
+import pytest
+
+from repro.core.metrics import (
+    absolute_error,
+    coefficient_of_variation,
+    mean,
+    relative_error,
+)
+
+
+class TestAbsoluteError:
+    def test_formula(self):
+        assert absolute_error(1.1, 1.0) == pytest.approx(0.1)
+        assert absolute_error(0.9, 1.0) == pytest.approx(0.1)
+
+    def test_exact_prediction(self):
+        assert absolute_error(2.0, 2.0) == 0.0
+
+    def test_rejects_zero_reference(self):
+        with pytest.raises(ValueError):
+            absolute_error(1.0, 0.0)
+
+
+class TestRelativeError:
+    def test_matching_trends_have_zero_error(self):
+        # SS says 1.0 -> 1.2, EDS says 2.0 -> 2.4: same 1.2x trend.
+        assert relative_error(1.0, 1.2, 2.0, 2.4) == pytest.approx(0.0)
+
+    def test_trend_mismatch(self):
+        # SS trend 1.0, EDS trend 1.25: error = 0.25/1.25 = 0.2.
+        assert relative_error(1.0, 1.0, 1.0, 1.25) == pytest.approx(0.2)
+
+    def test_insensitive_to_absolute_bias(self):
+        # A constant multiplicative bias cancels in relative error.
+        error = relative_error(2.0, 2.6, 1.0, 1.3)
+        assert error == pytest.approx(0.0)
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            relative_error(0.0, 1.0, 1.0, 1.0)
+
+
+class TestCoV:
+    def test_identical_values(self):
+        assert coefficient_of_variation([2.0, 2.0, 2.0]) == 0.0
+
+    def test_known_value(self):
+        # mean 2, sample stdev 1 -> CoV 0.5.
+        assert coefficient_of_variation([1.0, 2.0, 3.0]) == \
+            pytest.approx((1.0) / 2.0)
+
+    def test_needs_two_values(self):
+        with pytest.raises(ValueError):
+            coefficient_of_variation([1.0])
+
+    def test_rejects_zero_mean(self):
+        with pytest.raises(ValueError):
+            coefficient_of_variation([-1.0, 1.0])
+
+
+class TestMean:
+    def test_mean(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            mean([])

@@ -1,0 +1,78 @@
+"""Tests for single-pass multi-configuration profiling."""
+
+import pytest
+
+from repro.core.multiprofile import profile_trace_multi_cache
+from repro.core.profiler import profile_trace
+from repro.core.synthesis import generate_synthetic_trace
+
+
+class TestEquivalence:
+    def test_scale_one_matches_single_profile(self, small_trace, config):
+        multi = profile_trace_multi_cache(small_trace, config,
+                                          cache_scales=(1.0,), order=1)
+        single = profile_trace(small_trace, config, order=1)
+        a, b = multi[1.0].sfg, single.sfg
+        assert set(a.contexts) == set(b.contexts)
+        assert a.transitions == b.transitions
+        for key in a.contexts:
+            sa, sb = a.contexts[key], b.contexts[key]
+            assert sa.occurrences == sb.occurrences
+            assert sa.il1 == sb.il1
+            assert sa.dl1 == sb.dl1
+            assert sa.dep_hists == sb.dep_hists
+            assert sa.waw_hists == sb.waw_hists
+            assert sa.outcome_counts == sb.outcome_counts
+
+    def test_each_scale_matches_its_own_pass(self, small_trace, config):
+        scales = (0.25, 1.0)
+        multi = profile_trace_multi_cache(small_trace, config,
+                                          cache_scales=scales, order=1)
+        for scale in scales:
+            scaled_config = config.with_cache_scale(scale)
+            single = profile_trace(small_trace, scaled_config, order=1)
+            for key, stats in single.sfg.contexts.items():
+                other = multi[scale].sfg.contexts[key]
+                assert other.dl1 == stats.dl1
+                assert other.il1 == stats.il1
+
+
+class TestBehaviour:
+    def test_smaller_caches_more_annotated_misses(self, small_trace,
+                                                  config):
+        multi = profile_trace_multi_cache(small_trace, config,
+                                          cache_scales=(0.25, 4.0),
+                                          order=1)
+
+        def total_dl1(profile):
+            return sum(sum(s.dl1) for s in profile.sfg.contexts.values())
+
+        assert total_dl1(multi[0.25]) >= total_dl1(multi[4.0])
+
+    def test_profiles_usable_for_synthesis(self, small_trace, config):
+        multi = profile_trace_multi_cache(small_trace, config,
+                                          cache_scales=(0.5, 2.0),
+                                          order=1)
+        for scale, profile in multi.items():
+            synthetic = generate_synthetic_trace(profile, 4, seed=0)
+            assert len(synthetic) > 0
+            assert profile.config.dl1.size_bytes == \
+                int(config.dl1.size_bytes * scale)
+
+    def test_structure_shared_across_scales(self, small_trace, config):
+        multi = profile_trace_multi_cache(small_trace, config,
+                                          cache_scales=(0.25, 1.0, 4.0))
+        keys = [set(p.sfg.contexts) for p in multi.values()]
+        assert keys[0] == keys[1] == keys[2]
+
+    def test_validation(self, small_trace, config):
+        with pytest.raises(ValueError):
+            profile_trace_multi_cache(small_trace, config,
+                                      cache_scales=())
+        with pytest.raises(ValueError):
+            profile_trace_multi_cache(small_trace, config,
+                                      cache_scales=(1.0,), order=-1)
+        with pytest.raises(ValueError):
+            profile_trace_multi_cache(small_trace, config,
+                                      cache_scales=(1.0,),
+                                      branch_mode="nope")

@@ -1,0 +1,215 @@
+"""Tests for the out-of-order pipeline's cycle model.
+
+Hand-built slot sequences make latency and bandwidth effects exactly
+predictable; generated workloads check conservation laws end to end.
+"""
+
+import pytest
+
+from repro.config import MachineConfig, baseline_config
+from repro.isa.iclass import IClass
+from repro.branch.unit import BranchOutcome
+from repro.cpu.pipeline import simulate
+from repro.cpu.source import (
+    ExecutionDrivenSource,
+    FetchSlot,
+    PreannotatedSource,
+)
+
+
+def _alu(**kwargs):
+    return FetchSlot(IClass.INT_ALU, exec_latency=1, **kwargs)
+
+
+def _load(latency=2, **kwargs):
+    return FetchSlot(IClass.LOAD, exec_latency=latency, **kwargs)
+
+
+def _branch(outcome=BranchOutcome.CORRECT, taken=False):
+    return FetchSlot(IClass.INT_COND_BRANCH, exec_latency=1,
+                     outcome=outcome, taken=taken)
+
+
+def _run(slots, **config_kwargs):
+    config = baseline_config()
+    if config_kwargs:
+        from dataclasses import replace
+        config = replace(config, **config_kwargs)
+    return simulate(config, PreannotatedSource(slots))
+
+
+class TestConservation:
+    def test_all_instructions_commit(self):
+        result = _run([_alu() for _ in range(100)])
+        assert result.instructions == 100
+
+    def test_empty_source(self):
+        result = _run([])
+        assert result.instructions == 0
+
+    def test_single_instruction(self):
+        result = _run([_alu()])
+        assert result.instructions == 1
+        assert result.cycles >= 1
+
+    def test_eds_commits_whole_trace(self, tiny_trace, config):
+        source = ExecutionDrivenSource(tiny_trace, config)
+        result = simulate(config, source)
+        assert result.instructions == len(tiny_trace)
+
+    def test_commits_bounded_by_width(self):
+        result = _run([_alu() for _ in range(80)], commit_width=2)
+        # 80 instructions at <= 2 per cycle need >= 40 cycles.
+        assert result.cycles >= 40
+
+
+class TestIlpAndDependencies:
+    def test_independent_instructions_reach_high_ipc(self):
+        result = _run([_alu() for _ in range(2000)])
+        assert result.ipc > 4.0
+
+    def test_serial_chain_limits_ipc(self):
+        chain = [_alu(dep_distances=(1,)) for _ in range(400)]
+        result = _run(chain)
+        # Each instruction waits for its predecessor: ~1 IPC ceiling.
+        assert result.ipc <= 1.2
+
+    def test_long_latency_serial_chain(self):
+        chain = [_load(latency=20, dep_distances=(1,))
+                 for _ in range(100)]
+        result = _run(chain)
+        assert result.cycles >= 100 * 20
+
+    def test_dependency_beyond_history_ignored(self):
+        slots = [_alu(dep_distances=(600,)) for _ in range(100)]
+        result = _run(slots)
+        assert result.ipc > 3.0  # distance > 512 never blocks
+
+    def test_narrow_width_halves_throughput(self):
+        wide = _run([_alu() for _ in range(1000)])
+        narrow = _run([_alu() for _ in range(1000)],
+                      decode_width=2, issue_width=2, commit_width=2)
+        assert narrow.cycles > wide.cycles * 1.8
+
+
+class TestFunctionalUnits:
+    def test_divider_contention(self):
+        divs = [FetchSlot(IClass.INT_DIV, exec_latency=20)
+                for _ in range(40)]
+        result = _run(divs)
+        # 2 mult/div units, fully pipelined: >= 40/2... issue port bound
+        # means at most 2 divides start per cycle.
+        assert result.activity["int_mult_div"] == 40
+        assert result.cycles >= 20
+
+    def test_fu_activity_recorded(self):
+        slots = [_alu(), _load(),
+                 FetchSlot(IClass.FP_MULT, exec_latency=4)]
+        result = _run(slots)
+        assert result.activity["int_alu"] == 1
+        assert result.activity["load_store"] == 1
+        assert result.activity["fp_mult_div"] == 1
+
+
+class TestBranches:
+    def test_misprediction_costs_cycles(self):
+        correct = []
+        mispredicted = []
+        for _ in range(50):
+            correct.extend([_alu() for _ in range(9)] + [_branch()])
+            mispredicted.extend(
+                [_alu() for _ in range(9)]
+                + [_branch(outcome=BranchOutcome.MISPREDICTION)])
+        fast = _run(correct)
+        slow = _run(mispredicted)
+        assert slow.cycles > fast.cycles + 50 * 10
+        assert slow.branch_mispredictions == 50
+        assert slow.squashed_instructions > 0
+
+    def test_fetch_redirection_cheaper_than_misprediction(self):
+        def stream(outcome):
+            slots = []
+            for _ in range(50):
+                slots.extend([_alu() for _ in range(9)])
+                slots.append(_branch(outcome=outcome, taken=True))
+            return slots
+
+        redirect = _run(stream(BranchOutcome.FETCH_REDIRECTION))
+        mispredict = _run(stream(BranchOutcome.MISPREDICTION))
+        correct = _run(stream(BranchOutcome.CORRECT))
+        assert correct.cycles <= redirect.cycles <= mispredict.cycles
+        assert redirect.fetch_redirections == 50
+
+    def test_taken_branches_limit_fetch(self):
+        # One taken branch per 2 instructions caps the fetch group.
+        taken = []
+        for _ in range(200):
+            taken.append(_alu())
+            taken.append(_branch(taken=True))
+        not_taken = []
+        for _ in range(200):
+            not_taken.append(_alu())
+            not_taken.append(_branch(taken=False))
+        assert _run(taken).cycles > _run(not_taken).cycles
+
+    def test_branch_counters(self):
+        slots = [_branch(taken=True),
+                 _branch(outcome=BranchOutcome.MISPREDICTION),
+                 _branch(outcome=BranchOutcome.FETCH_REDIRECTION,
+                         taken=True)]
+        result = _run(slots)
+        assert result.branches == 3
+        assert result.taken_branches == 2
+        assert result.branch_mispredictions == 1
+        assert result.fetch_redirections == 1
+
+
+class TestFetchStalls:
+    def test_icache_stall_slows_fetch(self):
+        stalled = [_alu(fetch_stall=10) for _ in range(100)]
+        result = _run(stalled)
+        assert result.cycles >= 100 * 10
+
+    def test_no_stall_baseline(self):
+        result = _run([_alu() for _ in range(100)])
+        assert result.cycles < 100
+
+
+class TestOccupancies:
+    def test_occupancies_bounded(self, small_trace, config):
+        result = simulate(config, ExecutionDrivenSource(small_trace,
+                                                        config))
+        assert 0 <= result.avg_ruu_occupancy <= config.ruu_size
+        assert 0 <= result.avg_lsq_occupancy <= config.lsq_size
+        assert 0 <= result.avg_ifq_occupancy <= config.ifq_size
+
+    def test_memory_bound_fills_window(self):
+        # A long-latency serial load chain keeps the RUU occupied.
+        chain = [_load(latency=150, dep_distances=(1,))
+                 for _ in range(100)]
+        result = _run(chain)
+        assert result.avg_ruu_occupancy > 10
+
+    def test_lsq_pressure(self):
+        loads = [_load() for _ in range(500)]
+        result = _run(loads, lsq_size=4)
+        alus = _run([_alu() for _ in range(500)], lsq_size=4)
+        assert result.avg_lsq_occupancy > 0
+        assert result.cycles >= alus.cycles
+
+
+class TestSafety:
+    def test_max_cycles_guard(self):
+        # An absurd stall forces the guard to trigger.
+        slots = [_alu(fetch_stall=10_000)]
+        config = baseline_config()
+        with pytest.raises(RuntimeError):
+            simulate(config, PreannotatedSource(slots), max_cycles=100)
+
+    def test_wrong_path_instructions_never_commit(self):
+        slots = []
+        for _ in range(20):
+            slots.extend([_alu() for _ in range(5)])
+            slots.append(_branch(outcome=BranchOutcome.MISPREDICTION))
+        result = _run(slots)
+        assert result.instructions == len(slots)

@@ -1,0 +1,111 @@
+"""Tests for the Wattch-style power model."""
+
+import pytest
+
+from repro.config import baseline_config
+from repro.cpu.results import SimulationResult
+from repro.power.wattch import (
+    IDLE_FRACTION,
+    PowerBreakdown,
+    WattchPowerModel,
+    energy_delay_product,
+)
+
+
+def _result(cycles=1000, instructions=1000, ruu=20.0, lsq=5.0, ifq=10.0,
+            **activity):
+    base = {"fetch": 0, "dispatch": 0, "issue": 0, "commit": 0,
+            "bpred": 0, "il1": 0, "dl1": 0, "l2": 0, "int_alu": 0,
+            "load_store": 0, "fp_adder": 0, "int_mult_div": 0,
+            "fp_mult_div": 0}
+    base.update(activity)
+    return SimulationResult(cycles=cycles, instructions=instructions,
+                            avg_ruu_occupancy=ruu, avg_lsq_occupancy=lsq,
+                            avg_ifq_occupancy=ifq, activity=base)
+
+
+@pytest.fixture
+def model(config):
+    return WattchPowerModel(config)
+
+
+class TestMaxPower:
+    def test_all_units_positive(self, model):
+        assert all(p > 0 for p in model.max_power.values())
+
+    def test_scales_with_window(self):
+        small = WattchPowerModel(baseline_config().with_window(16, 8))
+        large = WattchPowerModel(baseline_config().with_window(128, 32))
+        assert large.max_power["ruu"] > small.max_power["ruu"]
+        assert large.max_power["lsq"] > small.max_power["lsq"]
+
+    def test_scales_with_caches(self):
+        small = WattchPowerModel(baseline_config().with_cache_scale(0.25))
+        large = WattchPowerModel(baseline_config().with_cache_scale(4.0))
+        for unit in ("il1", "dl1", "l2"):
+            assert large.max_power[unit] > small.max_power[unit]
+
+    def test_scales_with_predictor(self):
+        small = WattchPowerModel(
+            baseline_config().with_predictor_scale(0.25))
+        large = WattchPowerModel(
+            baseline_config().with_predictor_scale(4.0))
+        assert large.max_power["bpred"] > small.max_power["bpred"]
+
+    def test_clock_is_large_share(self, model):
+        total = sum(model.max_power.values())
+        assert model.max_power["clock"] > 0.2 * total
+
+
+class TestCc3Gating:
+    def test_idle_machine_burns_idle_fraction(self, model):
+        idle = _result(ruu=0.0, lsq=0.0, ifq=0.0)
+        breakdown = model.energy_per_cycle(idle)
+        for unit, pmax in model.max_power.items():
+            if unit == "clock":
+                continue
+            assert breakdown.unit(unit) == pytest.approx(
+                IDLE_FRACTION * pmax)
+
+    def test_activity_increases_power(self, model, config):
+        idle = _result(instructions=0)
+        busy = _result(instructions=8000,
+                       fetch=16_000, dispatch=8000, issue=8000,
+                       commit=8000, bpred=2000, il1=16_000, dl1=4000,
+                       l2=100, int_alu=6000, load_store=3000)
+        assert model.epc(busy) > model.epc(idle)
+
+    def test_power_bounded_by_max(self, model):
+        saturated = _result(instructions=8000, ruu=128.0, lsq=32.0,
+                            ifq=32.0,
+                            **{k: 10**9 for k in
+                               ("fetch", "dispatch", "issue", "bpred",
+                                "il1", "dl1", "l2", "int_alu",
+                                "load_store", "fp_adder", "int_mult_div",
+                                "fp_mult_div")})
+        breakdown = model.energy_per_cycle(saturated)
+        for unit, value in breakdown.per_unit.items():
+            assert value <= model.max_power[unit] + 1e-9
+
+    def test_total_is_sum(self, model):
+        breakdown = model.energy_per_cycle(_result())
+        assert breakdown.total == pytest.approx(
+            sum(breakdown.per_unit.values()))
+
+    def test_unknown_unit_rejected(self, model):
+        breakdown = model.energy_per_cycle(_result())
+        with pytest.raises(ValueError):
+            breakdown.unit("flux_capacitor")
+
+
+class TestEdp:
+    def test_formula(self):
+        # EDP = EPC * CPI^2 = EPC / IPC^2.
+        assert energy_delay_product(20.0, 2.0) == pytest.approx(5.0)
+
+    def test_zero_ipc(self):
+        assert energy_delay_product(20.0, 0.0) == float("inf")
+
+    def test_faster_is_better_at_equal_power(self):
+        assert energy_delay_product(20.0, 2.0) < \
+            energy_delay_product(20.0, 1.0)

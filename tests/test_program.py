@@ -1,0 +1,90 @@
+"""Unit tests for basic blocks and static programs."""
+
+import pytest
+
+from repro.isa.iclass import IClass
+from repro.isa.instruction import StaticInstruction
+from repro.isa.program import INSTRUCTION_BYTES, BasicBlock, Program
+
+from conftest import make_tiny_program
+
+
+def _alu(dst=1):
+    return StaticInstruction(IClass.INT_ALU, src_regs=(0,), dst_reg=dst)
+
+
+def _branch():
+    return StaticInstruction(IClass.INT_COND_BRANCH, src_regs=(1,))
+
+
+class TestBasicBlock:
+    def test_valid_block(self):
+        block = BasicBlock(bb_id=0, address=0x1000,
+                           instructions=[_alu(), _branch()],
+                           taken_target=0, fallthrough=0)
+        assert block.size == 2
+        assert block.branch.is_branch
+        assert block.branch_pc == 0x1000 + INSTRUCTION_BYTES
+
+    def test_requires_terminating_branch(self):
+        with pytest.raises(ValueError):
+            BasicBlock(bb_id=0, address=0, instructions=[_alu()])
+
+    def test_rejects_mid_block_branch(self):
+        with pytest.raises(ValueError):
+            BasicBlock(bb_id=0, address=0,
+                       instructions=[_branch(), _alu(), _branch()])
+
+    def test_rejects_empty_block(self):
+        with pytest.raises(ValueError):
+            BasicBlock(bb_id=0, address=0, instructions=[])
+
+    def test_instruction_pc(self):
+        block = BasicBlock(bb_id=0, address=0x100,
+                           instructions=[_alu(), _alu(2), _branch()],
+                           taken_target=0, fallthrough=0)
+        assert block.instruction_pc(0) == 0x100
+        assert block.instruction_pc(2) == 0x100 + 2 * INSTRUCTION_BYTES
+
+    def test_indirect_flag(self):
+        block = BasicBlock(
+            bb_id=0, address=0,
+            instructions=[StaticInstruction(IClass.INDIRECT_BRANCH,
+                                            src_regs=(1,))],
+            indirect_targets=(0,), branch_behavior=0)
+        assert block.is_indirect
+
+
+class TestProgram:
+    def test_tiny_program_valid(self):
+        program = make_tiny_program()
+        assert program.num_blocks == 2
+        assert program.static_instruction_count == 5
+
+    def test_dense_ids_required(self):
+        block = BasicBlock(bb_id=1, address=0,
+                           instructions=[_branch()],
+                           taken_target=0, fallthrough=0)
+        with pytest.raises(ValueError):
+            Program(name="bad", blocks=[block])
+
+    def test_unknown_target_rejected(self):
+        block = BasicBlock(bb_id=0, address=0,
+                           instructions=[_branch()],
+                           taken_target=5, fallthrough=0)
+        with pytest.raises(ValueError):
+            Program(name="bad", blocks=[block])
+
+    def test_empty_program_rejected(self):
+        with pytest.raises(ValueError):
+            Program(name="empty", blocks=[])
+
+    def test_block_at_address(self):
+        program = make_tiny_program()
+        mapping = program.block_at_address()
+        assert mapping[0x1000] == 0
+        assert mapping[0x2000] == 1
+
+    def test_reachability(self):
+        program = make_tiny_program()
+        assert program.validate_reachability() == [0, 1]

@@ -1,0 +1,59 @@
+"""Tests for the reduced statistical flow graph (paper section 2.2)."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.profiler import profile_trace
+from repro.core.reduction import reduce_flow_graph
+
+
+class TestReduction:
+    def test_floor_division(self, tiny_trace, config):
+        profile = profile_trace(tiny_trace, config, order=1)
+        reduced = reduce_flow_graph(profile.sfg, 10)
+        for context, budget in reduced.occurrences.items():
+            original = profile.sfg.contexts[context].occurrences
+            assert budget == original // 10
+
+    def test_zero_budget_nodes_dropped(self, tiny_trace, config):
+        profile = profile_trace(tiny_trace, config, order=1)
+        reduced = reduce_flow_graph(profile.sfg, 10)
+        for context, budget in reduced.occurrences.items():
+            assert budget > 0
+        dropped = set(profile.sfg.contexts) - set(reduced.occurrences)
+        for context in dropped:
+            assert profile.sfg.contexts[context].occurrences < 10
+
+    def test_factor_one_keeps_everything(self, tiny_trace, config):
+        profile = profile_trace(tiny_trace, config, order=1)
+        reduced = reduce_flow_graph(profile.sfg, 1)
+        assert reduced.num_nodes == profile.num_nodes
+        assert reduced.total_blocks == profile.sfg.total_block_executions
+
+    def test_huge_factor_empties_graph(self, tiny_trace, config):
+        profile = profile_trace(tiny_trace, config, order=1)
+        reduced = reduce_flow_graph(profile.sfg, 10**9)
+        assert reduced.num_nodes == 0
+        assert reduced.total_blocks == 0
+
+    def test_rejects_factor_below_one(self, tiny_trace, config):
+        profile = profile_trace(tiny_trace, config, order=1)
+        with pytest.raises(ValueError):
+            reduce_flow_graph(profile.sfg, 0.5)
+
+    # The fixtures are only read, so sharing them across examples is
+    # safe; the profile is rebuilt per example anyway.
+    @settings(max_examples=20, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(factor=st.floats(min_value=1.0, max_value=1000.0))
+    def test_total_blocks_scale(self, factor, small_trace, config):
+        profile = profile_trace(small_trace, config, order=1,
+                                branch_mode="perfect",
+                                perfect_caches=True)
+        reduced = reduce_flow_graph(profile.sfg, factor)
+        total = profile.sfg.total_block_executions
+        # Flooring loses at most one unit of budget per node.
+        assert reduced.total_blocks <= total / factor + 1
+        assert reduced.total_blocks >= total / factor \
+            - profile.num_nodes

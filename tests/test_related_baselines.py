@@ -1,0 +1,111 @@
+"""Tests for the related-work workload models (independent and
+size-correlated)."""
+
+import pytest
+
+from repro.isa.iclass import BRANCH_CLASSES, IClass
+from repro.branch.unit import BranchOutcome
+from repro.baselines.related import (
+    IndependentModel,
+    SizeCorrelatedModel,
+    _Distribution,
+    run_model,
+)
+
+
+class TestDistribution:
+    def test_sampling_respects_weights(self):
+        import random
+
+        dist = _Distribution({1: 90, 10: 10})
+        rng = random.Random(0)
+        samples = [dist.sample(rng) for _ in range(1000)]
+        assert 0.8 < samples.count(1) / len(samples) < 0.97
+
+    def test_empty_distribution(self):
+        import random
+
+        dist = _Distribution({})
+        assert not dist
+        with pytest.raises(ValueError):
+            dist.sample(random.Random(0))
+
+
+@pytest.fixture
+def independent(small_trace, config):
+    return IndependentModel(small_trace, config)
+
+
+@pytest.fixture
+def size_correlated(small_trace, config):
+    return SizeCorrelatedModel(small_trace, config)
+
+
+class TestIndependentModel:
+    def test_generates_requested_length(self, independent, config):
+        trace = independent.generate(800, seed=0)
+        assert len(trace) == 800
+
+    def test_deterministic(self, independent):
+        a = independent.generate(400, seed=3)
+        b = independent.generate(400, seed=3)
+        assert [i.iclass for i in a] == [i.iclass for i in b]
+
+    def test_branches_end_blocks(self, independent):
+        trace = independent.generate(600, seed=1)
+        for inst in trace:
+            if inst.is_branch:
+                assert inst.outcome in BranchOutcome
+
+    def test_dependencies_valid(self, independent):
+        trace = independent.generate(600, seed=1)
+        instructions = trace.instructions
+        for index, inst in enumerate(instructions):
+            for distance in inst.dep_distances:
+                target = index - distance
+                if target >= 0:
+                    assert instructions[target].produces_register
+
+    def test_simulates(self, independent, config):
+        result, power = run_model(independent, config, length=600)
+        assert result.instructions == 600
+        assert power.total > 0
+
+
+class TestSizeCorrelatedModel:
+    def test_block_structure_preserved(self, size_correlated):
+        trace = size_correlated.generate(600, seed=0)
+        # Branches appear only at block-final slots by construction:
+        # walking the trace, each sampled block ends with one branch.
+        count = 0
+        sizes = set(size_correlated.globals.block_sizes)
+        for inst in trace:
+            count += 1
+            if inst.is_branch:
+                assert count in sizes
+                count = 0
+
+    def test_size_distribution_tracks_reference(self, size_correlated,
+                                                small_trace):
+        trace = size_correlated.generate(2500, seed=0)
+        sizes = []
+        count = 0
+        for inst in trace:
+            count += 1
+            if inst.is_branch:
+                sizes.append(count)
+                count = 0
+        generated_mean = sum(sizes) / len(sizes)
+        reference = size_correlated.globals.block_sizes
+        reference_mean = (sum(s * c for s, c in reference.items())
+                          / sum(reference.values()))
+        assert abs(generated_mean - reference_mean) < 1.5
+
+    def test_deterministic(self, size_correlated):
+        a = size_correlated.generate(400, seed=2)
+        b = size_correlated.generate(400, seed=2)
+        assert [i.iclass for i in a] == [i.iclass for i in b]
+
+    def test_simulates(self, size_correlated, config):
+        result, power = run_model(size_correlated, config, length=600)
+        assert result.instructions == 600

@@ -1,0 +1,43 @@
+"""Tests for the simulation result container."""
+
+import pytest
+
+from repro.cpu.results import SimulationResult
+
+
+def _result(**kwargs):
+    defaults = dict(cycles=100, instructions=150, avg_ruu_occupancy=10.0,
+                    avg_lsq_occupancy=3.0, avg_ifq_occupancy=5.0)
+    defaults.update(kwargs)
+    return SimulationResult(**defaults)
+
+
+class TestDerivedMetrics:
+    def test_ipc_cpi(self):
+        result = _result()
+        assert result.ipc == pytest.approx(1.5)
+        assert result.cpi == pytest.approx(100 / 150)
+
+    def test_zero_cycles(self):
+        result = _result(cycles=0, instructions=0)
+        assert result.ipc == 0.0
+
+    def test_zero_instructions_cpi(self):
+        assert _result(instructions=0).cpi == float("inf")
+
+    def test_execution_bandwidth(self):
+        result = _result(activity={"issue": 300})
+        assert result.execution_bandwidth == pytest.approx(3.0)
+
+    def test_mpki(self):
+        result = _result(branch_mispredictions=3, instructions=1000)
+        assert result.mispredictions_per_kilo_instruction == \
+            pytest.approx(3.0)
+
+    def test_occupancy_lookup(self):
+        result = _result()
+        assert result.occupancy("ruu") == 10.0
+        assert result.occupancy("lsq") == 3.0
+        assert result.occupancy("ifq") == 5.0
+        with pytest.raises(ValueError):
+            result.occupancy("rob")

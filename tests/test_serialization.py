@@ -1,0 +1,79 @@
+"""Tests for profile serialization (save/load round-trips)."""
+
+import json
+
+import pytest
+
+from repro.config import baseline_config, simplescalar_default_config
+from repro.core.profiler import profile_trace
+from repro.core.serialization import (
+    load_profile,
+    profile_from_dict,
+    profile_to_dict,
+    save_profile,
+)
+from repro.core.synthesis import generate_synthetic_trace
+
+
+@pytest.fixture
+def profile(small_trace, config):
+    return profile_trace(small_trace, config, order=1)
+
+
+class TestRoundTrip:
+    def test_metadata_preserved(self, profile):
+        clone = profile_from_dict(profile_to_dict(profile))
+        assert clone.name == profile.name
+        assert clone.order == profile.order
+        assert clone.branch_mode == profile.branch_mode
+        assert clone.trace_instructions == profile.trace_instructions
+        assert clone.config == profile.config
+
+    def test_graph_preserved(self, profile):
+        clone = profile_from_dict(profile_to_dict(profile))
+        assert set(clone.sfg.contexts) == set(profile.sfg.contexts)
+        assert clone.sfg.transitions == profile.sfg.transitions
+        assert clone.sfg.total_block_executions == \
+            profile.sfg.total_block_executions
+        for key, stats in profile.sfg.contexts.items():
+            other = clone.sfg.contexts[key]
+            assert other.occurrences == stats.occurrences
+            assert other.iclasses == stats.iclasses
+            assert other.dep_hists == stats.dep_hists
+            assert other.waw_hists == stats.waw_hists
+            assert other.il1 == stats.il1
+            assert other.outcome_counts == stats.outcome_counts
+
+    def test_clone_validates(self, profile):
+        clone = profile_from_dict(profile_to_dict(profile))
+        clone.sfg.validate()
+
+    def test_synthesis_identical_from_clone(self, profile):
+        clone = profile_from_dict(profile_to_dict(profile))
+        original = generate_synthetic_trace(profile, 4, seed=9)
+        regenerated = generate_synthetic_trace(clone, 4, seed=9)
+        assert [i.iclass for i in original] == \
+            [i.iclass for i in regenerated]
+        assert [i.dep_distances for i in original] == \
+            [i.dep_distances for i in regenerated]
+
+    def test_json_compatible(self, profile):
+        json.dumps(profile_to_dict(profile))  # must not raise
+
+    def test_file_round_trip(self, profile, tmp_path):
+        path = tmp_path / "profile.json"
+        save_profile(profile, path)
+        clone = load_profile(path)
+        assert clone.num_nodes == profile.num_nodes
+
+    def test_config_round_trip_non_default(self, small_trace):
+        config = simplescalar_default_config()
+        profile = profile_trace(small_trace, config, order=0)
+        clone = profile_from_dict(profile_to_dict(profile))
+        assert clone.config == config
+
+    def test_unknown_format_rejected(self, profile):
+        data = profile_to_dict(profile)
+        data["format"] = 99
+        with pytest.raises(ValueError):
+            profile_from_dict(data)

@@ -1,0 +1,95 @@
+"""Tests for the SimPoint baseline (BBVs, clustering, estimation)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.simpoint import (
+    SimPointSelection,
+    _kmeans,
+    basic_block_vectors,
+    run_simpoint,
+    select_simpoints,
+)
+
+import random
+
+
+class TestBasicBlockVectors:
+    def test_shapes(self, small_trace):
+        vectors, pieces = basic_block_vectors(small_trace, interval=500)
+        assert vectors.shape[0] == len(pieces) == len(small_trace) // 500
+        assert vectors.shape[1] >= 1
+
+    def test_rows_normalized(self, small_trace):
+        vectors, _ = basic_block_vectors(small_trace, interval=500)
+        for row in vectors:
+            assert row.sum() == pytest.approx(1.0)
+
+    def test_too_short_trace_rejected(self, tiny_trace):
+        with pytest.raises(ValueError):
+            basic_block_vectors(tiny_trace, interval=10_000)
+
+
+class TestKMeans:
+    def test_separates_obvious_clusters(self):
+        rng = random.Random(0)
+        a = np.random.RandomState(0).normal(0.0, 0.05, size=(20, 3))
+        b = np.random.RandomState(1).normal(5.0, 0.05, size=(20, 3))
+        data = np.vstack([a, b])
+        labels, centers = _kmeans(data, k=2, rng=rng)
+        assert len(set(labels[:20])) == 1
+        assert len(set(labels[20:])) == 1
+        assert labels[0] != labels[20]
+
+    def test_k_one(self):
+        rng = random.Random(0)
+        data = np.arange(12, dtype=float).reshape(6, 2)
+        labels, centers = _kmeans(data, k=1, rng=rng)
+        assert set(labels) == {0}
+        assert centers.shape == (1, 2)
+
+
+class TestSelection:
+    def test_weights_sum_to_one(self, small_trace):
+        selection = select_simpoints(small_trace, interval=500, max_k=3,
+                                     seed=0)
+        assert sum(selection.weights) == pytest.approx(1.0)
+        assert len(selection.representatives) == len(selection.weights)
+        assert selection.k >= 1
+
+    def test_representatives_valid(self, small_trace):
+        selection = select_simpoints(small_trace, interval=500, max_k=3,
+                                     seed=0)
+        n_intervals = len(small_trace) // 500
+        for index in selection.representatives:
+            assert 0 <= index < n_intervals
+
+    def test_deterministic(self, small_trace):
+        a = select_simpoints(small_trace, interval=500, max_k=3, seed=1)
+        b = select_simpoints(small_trace, interval=500, max_k=3, seed=1)
+        assert a.representatives == b.representatives
+        assert a.weights == b.weights
+
+    def test_simulated_instructions(self, small_trace):
+        selection = select_simpoints(small_trace, interval=500, max_k=3,
+                                     seed=0)
+        assert selection.simulated_instructions == \
+            len(selection.representatives) * 500
+
+
+class TestRunSimPoint:
+    def test_estimate_fields(self, small_trace, config):
+        estimate = run_simpoint(small_trace, config, interval=500,
+                                max_k=3, seed=0)
+        assert estimate["ipc"] > 0
+        assert estimate["epc"] > 0
+        assert estimate["simulated_instructions"] <= len(small_trace)
+
+    def test_estimate_in_reasonable_range(self, small_trace, config):
+        from repro.core.framework import run_execution_driven
+
+        full, _ = run_execution_driven(small_trace, config)
+        estimate = run_simpoint(small_trace, config, interval=500,
+                                max_k=4, seed=0)
+        # SimPoint on a short cold trace is noisy, but not absurd.
+        assert 0.3 * full.ipc < estimate["ipc"] < 3.0 * full.ipc

@@ -1,0 +1,60 @@
+"""Tests for the SPECint2000-named workload suite."""
+
+import pytest
+
+from repro.workloads.spec import (
+    SPEC_INT_2000,
+    benchmark_names,
+    build_benchmark,
+    build_suite,
+)
+
+
+def test_ten_benchmarks():
+    # The paper evaluates ten SPEC CINT2000 benchmarks (Table 1).
+    assert len(SPEC_INT_2000) == 10
+    assert benchmark_names() == ["bzip2", "crafty", "eon", "gcc", "gzip",
+                                 "parser", "perlbmk", "twolf", "vortex",
+                                 "vpr"]
+
+
+def test_build_benchmark_deterministic():
+    a = build_benchmark("gzip")
+    b = build_benchmark("gzip")
+    assert a.num_blocks == b.num_blocks
+    assert [blk.address for blk in a.blocks] == \
+           [blk.address for blk in b.blocks]
+
+
+def test_unknown_benchmark():
+    with pytest.raises(KeyError):
+        build_benchmark("mcf")
+
+
+def test_build_suite_subset():
+    suite = build_suite(["gzip", "vpr"])
+    assert set(suite) == {"gzip", "vpr"}
+
+
+def test_static_size_ordering():
+    # Table 3 ordering: gcc has by far the largest static code, vpr the
+    # smallest hot code.
+    sizes = {name: build_benchmark(name).num_blocks
+             for name in ("gcc", "vortex", "gzip", "vpr")}
+    assert sizes["gcc"] > sizes["vortex"] > sizes["gzip"] > 0
+    assert sizes["vpr"] <= sizes["gzip"]
+
+
+def test_personalities_distinct():
+    # Compressors are loop-heavy; crafty/twolf are random-branch heavy.
+    assert SPEC_INT_2000["gzip"].loop_fraction > \
+        SPEC_INT_2000["twolf"].loop_fraction
+    assert SPEC_INT_2000["crafty"].working_set_kb > \
+        SPEC_INT_2000["gzip"].working_set_kb
+    assert SPEC_INT_2000["eon"].indirect_fraction > 0.05
+    assert SPEC_INT_2000["perlbmk"].indirect_fraction > 0.05
+
+
+def test_configs_named_consistently():
+    for name, config in SPEC_INT_2000.items():
+        assert config.name == name

@@ -1,0 +1,82 @@
+"""Suite-level characterization regression tests.
+
+These pin the qualitative personality of each SPEC-named workload so
+that future changes to the generator or behaviours cannot silently
+break the properties the experiments rely on (branch predictability
+ordering, memory pressure ordering, code-size ordering).  They use
+short windows to stay fast; the full-scale picture lives in
+EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.config import baseline_config
+from repro.core.framework import run_execution_driven
+from repro.frontend.warming import run_program_with_warmup
+from repro.workloads.spec import benchmark_names, build_benchmark
+
+_WINDOW = 12_000
+_WARMUP = 12_000
+
+
+@pytest.fixture(scope="module")
+def characterization():
+    config = baseline_config()
+    results = {}
+    for name in benchmark_names():
+        warm, trace = run_program_with_warmup(build_benchmark(name),
+                                              _WARMUP, _WINDOW)
+        result, power = run_execution_driven(trace, config,
+                                             warmup_trace=warm)
+        results[name] = (result, power)
+    return results
+
+
+class TestSuiteCharacterization:
+    def test_all_benchmarks_complete(self, characterization):
+        for name, (result, _) in characterization.items():
+            assert result.instructions == _WINDOW, name
+
+    def test_ipc_range_sane(self, characterization):
+        for name, (result, _) in characterization.items():
+            assert 0.05 < result.ipc < 8.0, (name, result.ipc)
+
+    def test_ipc_spread(self, characterization):
+        ipcs = [r.ipc for r, _ in characterization.values()]
+        assert max(ipcs) / min(ipcs) > 2.0
+
+    def test_compressors_fastest(self, characterization):
+        ipc = {name: result.ipc
+               for name, (result, _) in characterization.items()}
+        slow_group = min(ipc["crafty"], ipc["twolf"], ipc["parser"])
+        assert ipc["gzip"] > slow_group
+        assert ipc["bzip2"] > slow_group
+
+    def test_branchy_benchmarks_mispredict_more(self, characterization):
+        mpki = {name: result.mispredictions_per_kilo_instruction
+                for name, (result, _) in characterization.items()}
+        # Interpreter/ray-tracer style codes sit above the streaming
+        # compressors.
+        assert mpki["perlbmk"] > mpki["gzip"]
+        assert mpki["eon"] > mpki["gzip"]
+
+    def test_power_in_plausible_band(self, characterization):
+        for name, (_, power) in characterization.items():
+            assert 10.0 < power.total < 80.0, (name, power.total)
+
+    def test_faster_benchmarks_burn_more_power(self, characterization):
+        # cc3 gating ties EPC to utilization: the fastest workload must
+        # consume more than the slowest.
+        by_ipc = sorted(characterization.values(), key=lambda rp: rp[0].ipc)
+        assert by_ipc[-1][1].total > by_ipc[0][1].total
+
+    def test_determinism_across_builds(self, characterization):
+        # Rebuilding a benchmark and re-running gives bit-identical
+        # results (the whole stack is seeded).
+        config = baseline_config()
+        warm, trace = run_program_with_warmup(build_benchmark("eon"),
+                                              _WARMUP, _WINDOW)
+        again, _ = run_execution_driven(trace, config, warmup_trace=warm)
+        first, _ = characterization["eon"]
+        assert again.cycles == first.cycles
+        assert again.activity == first.activity

@@ -1,0 +1,48 @@
+"""Unit tests for the TLB."""
+
+import pytest
+
+from repro.config import TLBConfig
+from repro.cache.tlb import TranslationLookasideBuffer
+
+
+def _tlb(entries=8, assoc=4, page=4096):
+    return TranslationLookasideBuffer(
+        TLBConfig("test", entries, assoc, page_bytes=page))
+
+
+class TestTLB:
+    def test_cold_miss_then_hit(self):
+        tlb = _tlb()
+        assert tlb.access(0x1234) is False
+        assert tlb.access(0x1FFF) is True  # same 4KB page
+
+    def test_page_granularity(self):
+        tlb = _tlb()
+        tlb.access(0)
+        assert tlb.access(4095) is True
+        assert tlb.access(4096) is False
+
+    def test_capacity_eviction(self):
+        tlb = _tlb(entries=2, assoc=2)
+        tlb.access(0 * 4096)
+        tlb.access(1 * 4096)
+        tlb.access(2 * 4096)
+        # Fully-assoc-like single set of 2: page 0 evicted.
+        assert tlb.access(0) is False
+
+    def test_miss_rate(self):
+        tlb = _tlb()
+        tlb.access(0)
+        tlb.access(0)
+        assert tlb.miss_rate == pytest.approx(0.5)
+
+    def test_reset_statistics(self):
+        tlb = _tlb()
+        tlb.access(0)
+        tlb.reset_statistics()
+        assert tlb.accesses == 0 and tlb.misses == 0
+
+    def test_rejects_bad_page_size(self):
+        with pytest.raises(ValueError):
+            _tlb(page=1000)

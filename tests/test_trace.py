@@ -1,0 +1,59 @@
+"""Tests for trace containers and interval utilities."""
+
+import pytest
+
+from repro.frontend.trace import Trace, concat_traces, split_intervals
+from repro.isa.iclass import IClass
+
+
+class TestTrace:
+    def test_len_iter_getitem(self, tiny_trace):
+        assert len(tiny_trace) == 600
+        assert tiny_trace[0].seq == 0
+        assert sum(1 for _ in tiny_trace) == 600
+
+    def test_instruction_mix_sums_to_one(self, small_trace):
+        mix = small_trace.instruction_mix()
+        assert abs(sum(mix.values()) - 1.0) < 1e-9
+
+    def test_counts(self, tiny_trace):
+        # Tiny program: block0 has 1 load of 3 instructions; block1 none.
+        assert tiny_trace.num_loads > 0
+        assert tiny_trace.num_branches == \
+            len(tiny_trace.basic_block_sequence())
+
+    def test_basic_block_counts(self, tiny_trace):
+        counts = tiny_trace.basic_block_counts()
+        # The loop body dominates.
+        assert counts[0] > counts[1] > 0
+
+
+class TestSplitIntervals:
+    def test_even_split(self, tiny_trace):
+        pieces = split_intervals(tiny_trace, 100)
+        assert len(pieces) == 6
+        assert all(len(piece) == 100 for piece in pieces)
+
+    def test_partial_tail_dropped(self, tiny_trace):
+        pieces = split_intervals(tiny_trace, 250)
+        assert len(pieces) == 2
+
+    def test_interval_longer_than_trace(self, tiny_trace):
+        assert split_intervals(tiny_trace, 10_000) == []
+
+    def test_rejects_nonpositive(self, tiny_trace):
+        with pytest.raises(ValueError):
+            split_intervals(tiny_trace, 0)
+
+    def test_pieces_cover_prefix(self, tiny_trace):
+        pieces = split_intervals(tiny_trace, 200)
+        flattened = [inst for piece in pieces for inst in piece]
+        assert flattened == tiny_trace.instructions[:600]
+
+
+class TestConcat:
+    def test_concat_renumbers(self, tiny_trace):
+        pieces = split_intervals(tiny_trace, 200)
+        merged = concat_traces("merged", pieces)
+        assert [inst.seq for inst in merged] == list(range(600))
+        assert merged.name == "merged"

@@ -1,0 +1,59 @@
+"""Tests for the binary trace file format."""
+
+import pytest
+
+from repro.frontend.tracefile import load_trace, save_trace
+
+
+class TestRoundTrip:
+    def test_instructions_identical(self, small_trace, tmp_path):
+        path = tmp_path / "trace.bin"
+        save_trace(small_trace, path)
+        loaded = load_trace(path)
+        assert loaded.name == small_trace.name
+        assert len(loaded) == len(small_trace)
+        for a, b in zip(small_trace, loaded):
+            assert a.seq == b.seq
+            assert a.pc == b.pc
+            assert a.iclass == b.iclass
+            assert a.bb_id == b.bb_id
+            assert a.src_regs == b.src_regs
+            assert a.dst_reg == b.dst_reg
+            assert a.mem_addr == b.mem_addr
+            assert a.taken == b.taken
+            assert a.target == b.target
+
+    def test_loaded_trace_profiles_identically(self, small_trace, config,
+                                               tmp_path):
+        from repro.core.profiler import profile_trace
+
+        path = tmp_path / "trace.bin"
+        save_trace(small_trace, path)
+        loaded = load_trace(path)
+        original = profile_trace(small_trace, config, order=1)
+        replayed = profile_trace(loaded, config, order=1)
+        assert set(original.sfg.contexts) == set(replayed.sfg.contexts)
+        assert original.sfg.transitions == replayed.sfg.transitions
+
+    def test_truncated_file_rejected(self, small_trace, tmp_path):
+        path = tmp_path / "trace.bin"
+        save_trace(small_trace, path)
+        data = path.read_bytes()
+        path.write_bytes(data[:-10])
+        with pytest.raises(ValueError):
+            load_trace(path)
+
+    def test_bad_version_rejected(self, tmp_path):
+        path = tmp_path / "trace.bin"
+        path.write_bytes(b'{"version": 9, "name": "x", "count": 0}\n')
+        with pytest.raises(ValueError):
+            load_trace(path)
+
+    def test_empty_trace(self, tmp_path):
+        from repro.frontend.trace import Trace
+
+        path = tmp_path / "empty.bin"
+        save_trace(Trace(name="empty", instructions=[]), path)
+        loaded = load_trace(path)
+        assert len(loaded) == 0
+        assert loaded.name == "empty"
