@@ -31,6 +31,22 @@ from repro.config import (
     baseline_config,
     simplescalar_default_config,
 )
+from repro.errors import (
+    ArtifactCorruptError,
+    InjectedFaultError,
+    ProfileError,
+    ReproError,
+    SimulationError,
+    SynthesisError,
+    TaskTimeoutError,
+)
+from repro.runner import (
+    FaultPlan,
+    RunnerPolicy,
+    RunReport,
+    TaskRunner,
+    WorkUnit,
+)
 from repro.isa import IClass, Program, BasicBlock
 from repro.workloads import (
     SPEC_INT_2000,
@@ -96,4 +112,9 @@ __all__ = [
     "generate_synthetic_trace", "simulate_synthetic_trace",
     "run_statistical_simulation", "run_execution_driven",
     "absolute_error", "relative_error", "coefficient_of_variation",
+    # errors
+    "ReproError", "ProfileError", "SynthesisError", "SimulationError",
+    "ArtifactCorruptError", "TaskTimeoutError", "InjectedFaultError",
+    # fault-tolerant runner
+    "TaskRunner", "RunnerPolicy", "RunReport", "WorkUnit", "FaultPlan",
 ]

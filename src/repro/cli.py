@@ -18,6 +18,13 @@ import importlib
 import sys
 from typing import List, Optional
 
+from repro.errors import ReproError
+
+#: Experiments whose ``run`` accepts a fault-tolerant ``runner=``
+#: (multi-benchmark batch jobs with checkpoint/resume support).
+RUNNER_AWARE_EXPERIMENTS = frozenset(
+    {"table1", "fig6", "table4", "sec46", "speedup"})
+
 EXPERIMENTS = {
     "table1": "table1_baseline",
     "fig3": "fig3_branch_profiling",
@@ -38,6 +45,42 @@ EXPERIMENTS = {
 }
 
 
+def _positive_int(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer, got {text!r}")
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer, got {value}")
+    return value
+
+
+def _non_negative_int(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a non-negative integer, got {text!r}")
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"expected a non-negative integer, got {value}")
+    return value
+
+
+def _positive_float(text: str) -> float:
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive number, got {text!r}")
+    if value <= 0:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive number, got {value}")
+    return value
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -50,28 +93,32 @@ def _build_parser() -> argparse.ArgumentParser:
     simulate = sub.add_parser(
         "simulate", help="execution-driven vs statistical simulation")
     simulate.add_argument("benchmark")
-    simulate.add_argument("--instructions", type=int, default=60_000)
-    simulate.add_argument("--warmup", type=int, default=40_000)
-    simulate.add_argument("-R", "--reduction-factor", type=float,
-                          default=6.0)
-    simulate.add_argument("-k", "--order", type=int, default=1)
+    simulate.add_argument("--instructions", type=_positive_int,
+                          default=60_000)
+    simulate.add_argument("--warmup", type=_non_negative_int,
+                          default=40_000)
+    simulate.add_argument("-R", "--reduction-factor",
+                          type=_positive_float, default=6.0)
+    simulate.add_argument("-k", "--order", type=_positive_int, default=1)
     simulate.add_argument("--seed", type=int, default=0)
 
     profile = sub.add_parser("profile",
                              help="measure and save a statistical profile")
     profile.add_argument("benchmark")
     profile.add_argument("-o", "--output", required=True)
-    profile.add_argument("--instructions", type=int, default=60_000)
-    profile.add_argument("--warmup", type=int, default=40_000)
-    profile.add_argument("-k", "--order", type=int, default=1)
+    profile.add_argument("--instructions", type=_positive_int,
+                         default=60_000)
+    profile.add_argument("--warmup", type=_non_negative_int,
+                         default=40_000)
+    profile.add_argument("-k", "--order", type=_positive_int, default=1)
     profile.add_argument("--branch-mode", default="delayed",
                          choices=("delayed", "immediate", "perfect"))
 
     synthesize = sub.add_parser(
         "synthesize", help="generate a synthetic trace from a profile")
     synthesize.add_argument("profile")
-    synthesize.add_argument("-R", "--reduction-factor", type=float,
-                            default=6.0)
+    synthesize.add_argument("-R", "--reduction-factor",
+                            type=_positive_float, default=6.0)
     synthesize.add_argument("--seed", type=int, default=0)
     synthesize.add_argument("--simulate", action="store_true",
                             help="also simulate the synthetic trace")
@@ -81,6 +128,24 @@ def _build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("name", choices=sorted(EXPERIMENTS))
     experiment.add_argument("--scale", default="quick",
                             choices=("quick", "default"))
+    experiment.add_argument(
+        "--benchmarks", default=None, metavar="NAME[,NAME...]",
+        help="restrict the run to a comma-separated benchmark subset")
+    experiment.add_argument(
+        "--run-dir", default=None,
+        help="checkpoint directory: each finished work unit is saved "
+             "there, enabling --resume after a crash or kill")
+    experiment.add_argument(
+        "--resume", action="store_true",
+        help="skip work units already checkpointed ok in --run-dir; "
+             "failed or missing units are re-run")
+    experiment.add_argument(
+        "--timeout", type=_positive_float, default=None, metavar="SECONDS",
+        help="wall-clock budget per work unit (exceeded units are "
+             "retried, then recorded as failures)")
+    experiment.add_argument(
+        "--retries", type=_non_negative_int, default=2,
+        help="retry budget for retryable failures (default: 2)")
 
     analyze = sub.add_parser(
         "analyze", help="analyze a saved profile's flow graph")
@@ -102,8 +167,9 @@ def _build_parser() -> argparse.ArgumentParser:
         "trace", help="record a workload's dynamic trace to a file")
     trace.add_argument("benchmark")
     trace.add_argument("-o", "--output", required=True)
-    trace.add_argument("--instructions", type=int, default=60_000)
-    trace.add_argument("--warmup", type=int, default=0)
+    trace.add_argument("--instructions", type=_positive_int,
+                       default=60_000)
+    trace.add_argument("--warmup", type=_non_negative_int, default=0)
 
     report = sub.add_parser(
         "report", help="run every experiment and write a Markdown report")
@@ -203,9 +269,47 @@ def _cmd_synthesize(args: argparse.Namespace) -> int:
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
     from repro.experiments.common import DEFAULT_SCALE, QUICK_SCALE
+    from repro.runner import RunnerPolicy, TaskRunner
+    from repro.workloads.spec import benchmark_names
 
     scale = QUICK_SCALE if args.scale == "quick" else DEFAULT_SCALE
-    print(_run_experiment(args.name, scale))
+    if args.benchmarks:
+        chosen = tuple(name.strip()
+                       for name in args.benchmarks.split(",")
+                       if name.strip())
+        unknown = sorted(set(chosen) - set(benchmark_names()))
+        if unknown:
+            print(f"error: unknown benchmark(s): {', '.join(unknown)}; "
+                  f"run 'repro benchmarks' for the suite",
+                  file=sys.stderr)
+            return 2
+        scale = scale.with_benchmarks(chosen)
+    if args.resume and not args.run_dir:
+        print("error: --resume requires --run-dir (there is nothing "
+              "to resume from without a checkpoint directory)",
+              file=sys.stderr)
+        return 2
+
+    runner = None
+    if args.name in RUNNER_AWARE_EXPERIMENTS:
+        runner = TaskRunner(
+            policy=RunnerPolicy(timeout=args.timeout,
+                                max_retries=args.retries),
+            run_dir=args.run_dir,
+            resume=args.resume,
+            log=lambda message: print(message, file=sys.stderr),
+        )
+    elif args.run_dir or args.timeout is not None:
+        print(f"note: experiment {args.name!r} does not run through "
+              f"the fault-tolerant runner; --run-dir/--resume/"
+              f"--timeout are ignored", file=sys.stderr)
+
+    print(_run_experiment(args.name, scale, runner=runner))
+    if runner is not None and runner.last_report is not None:
+        summary = runner.last_report.summary()
+        if args.run_dir:
+            print(f"checkpoints: {args.run_dir} ({summary})",
+                  file=sys.stderr)
     return 0
 
 
@@ -272,14 +376,16 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 _PER_BENCHMARK_EXPERIMENTS = ("sec41", "ablation-reduction")
 
 
-def _run_experiment(name: str, scale) -> str:
+def _run_experiment(name: str, scale, runner=None) -> str:
     module = importlib.import_module(
         f"repro.experiments.{EXPERIMENTS[name]}")
     if name == "sec46":
         rows = module.run_suite(benchmarks=scale.benchmarks[:3],
-                                scale=scale)
+                                scale=scale, runner=runner)
     elif name in _PER_BENCHMARK_EXPERIMENTS:
         rows = module.run(scale.benchmarks[0], scale)
+    elif name in RUNNER_AWARE_EXPERIMENTS:
+        rows = module.run(scale, runner=runner)
     else:
         rows = module.run(scale)
     return module.format_rows(rows)
@@ -308,24 +414,28 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
-    if args.command == "benchmarks":
-        return _cmd_benchmarks()
-    if args.command == "simulate":
-        return _cmd_simulate(args)
-    if args.command == "profile":
-        return _cmd_profile(args)
-    if args.command == "synthesize":
-        return _cmd_synthesize(args)
-    if args.command == "experiment":
-        return _cmd_experiment(args)
-    if args.command == "analyze":
-        return _cmd_analyze(args)
-    if args.command == "validate":
-        return _cmd_validate(args)
-    if args.command == "trace":
-        return _cmd_trace(args)
-    if args.command == "report":
-        return _cmd_report(args)
+    try:
+        if args.command == "benchmarks":
+            return _cmd_benchmarks()
+        if args.command == "simulate":
+            return _cmd_simulate(args)
+        if args.command == "profile":
+            return _cmd_profile(args)
+        if args.command == "synthesize":
+            return _cmd_synthesize(args)
+        if args.command == "experiment":
+            return _cmd_experiment(args)
+        if args.command == "analyze":
+            return _cmd_analyze(args)
+        if args.command == "validate":
+            return _cmd_validate(args)
+        if args.command == "trace":
+            return _cmd_trace(args)
+        if args.command == "report":
+            return _cmd_report(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

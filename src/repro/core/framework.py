@@ -12,6 +12,7 @@ from dataclasses import dataclass
 from typing import Optional, Tuple
 
 from repro.config import MachineConfig
+from repro.errors import ProfileError, SynthesisError
 from repro.frontend.trace import Trace
 from repro.cpu.pipeline import simulate
 from repro.cpu.results import SimulationResult
@@ -110,6 +111,12 @@ def run_statistical_simulation(
     predictor and IFQ size do — re-profile for those, as the paper notes
     in section 4.4).
     """
+    if reduction_factor <= 0:
+        raise SynthesisError(
+            f"reduction_factor must be positive, got "
+            f"{reduction_factor!r}")
+    if order < 0:
+        raise ProfileError(f"order must be >= 0, got {order!r}")
     if profile is None:
         profile = profile_trace(trace, config, order=order,
                                 branch_mode=branch_mode,

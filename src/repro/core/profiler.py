@@ -21,6 +21,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.config import MachineConfig
+from repro.errors import ProfileError
 from repro.frontend.trace import Trace
 from repro.branch.profiler import (
     profile_branches_delayed,
@@ -80,7 +81,7 @@ def _branch_records(trace: Trace, config: MachineConfig,
         records = profile_branches_delayed(trace, unit,
                                            fifo_size=config.ifq_size)
     else:
-        raise ValueError(
+        raise ProfileError(
             f"branch_mode must be one of {BRANCH_MODES}, got {branch_mode!r}"
         )
     return {record.seq: record for record in records}
@@ -100,9 +101,9 @@ def profile_trace(trace: Trace, config: MachineConfig, order: int = 1,
     from repro.frontend.warming import warm_locality_structures
 
     if order < 0:
-        raise ValueError("order must be >= 0")
+        raise ProfileError("order must be >= 0")
     if branch_mode not in BRANCH_MODES:
-        raise ValueError(
+        raise ProfileError(
             f"branch_mode must be one of {BRANCH_MODES}, got {branch_mode!r}"
         )
 

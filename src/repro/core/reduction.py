@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict
 
+from repro.errors import SynthesisError
 from repro.core.sfg import Context, StatisticalFlowGraph
 
 
@@ -42,7 +43,8 @@ def reduce_flow_graph(sfg: StatisticalFlowGraph,
                       reduction_factor: float) -> ReducedFlowGraph:
     """Divide occurrences by *reduction_factor* and drop empty nodes."""
     if reduction_factor < 1:
-        raise ValueError("reduction factor must be >= 1")
+        raise SynthesisError(
+            f"reduction factor must be >= 1, got {reduction_factor!r}")
     reduced: Dict[Context, int] = {}
     for context, stats in sfg.contexts.items():
         budget = int(stats.occurrences // reduction_factor)

@@ -11,6 +11,7 @@ across sessions.
 from __future__ import annotations
 
 import json
+import os
 from dataclasses import asdict
 from pathlib import Path
 from typing import Dict, List, Union
@@ -21,11 +22,20 @@ from repro.config import (
     MachineConfig,
     TLBConfig,
 )
+from repro.errors import ArtifactCorruptError
 from repro.isa.iclass import IClass
-from repro.core.profiler import StatisticalProfile
+from repro.core.profiler import BRANCH_MODES, StatisticalProfile
 from repro.core.sfg import ContextStats, StatisticalFlowGraph
 
 FORMAT_VERSION = 1
+
+#: Keys every serialized profile must carry (beyond the optional
+#: integrity checksum added at save time).
+REQUIRED_KEYS = (
+    "format", "name", "order", "branch_mode", "perfect_caches",
+    "trace_instructions", "config", "total_block_executions",
+    "transitions", "contexts",
+)
 
 
 def _config_to_dict(config: MachineConfig) -> Dict:
@@ -109,38 +119,129 @@ def profile_to_dict(profile: StatisticalProfile) -> Dict:
     }
 
 
-def profile_from_dict(data: Dict) -> StatisticalProfile:
-    """Reconstruct a profile from :func:`profile_to_dict` output."""
-    if data.get("format") != FORMAT_VERSION:
-        raise ValueError(
-            f"unsupported profile format {data.get('format')!r}; "
+def _validate_profile_dict(data: Dict) -> None:
+    """Structural validation of an untrusted profile dictionary.
+
+    Raises :class:`ArtifactCorruptError` (a :class:`ValueError`
+    subclass) with a message naming exactly what is wrong, instead of
+    letting a bad artifact surface as a ``KeyError`` deep inside graph
+    reconstruction.
+    """
+    if not isinstance(data, dict):
+        raise ArtifactCorruptError(
+            f"profile must be a JSON object, got {type(data).__name__}")
+    missing = [key for key in REQUIRED_KEYS if key not in data]
+    if missing:
+        raise ArtifactCorruptError(
+            f"profile is missing required keys: {', '.join(missing)}")
+    if data["format"] != FORMAT_VERSION:
+        raise ArtifactCorruptError(
+            f"unsupported profile format {data['format']!r}; "
             f"expected {FORMAT_VERSION}"
         )
-    sfg = StatisticalFlowGraph(order=data["order"])
-    sfg.total_block_executions = data["total_block_executions"]
-    for history, counts in data["transitions"]:
-        sfg.transitions[tuple(history)] = {
-            int(block): count for block, count in counts.items()
-        }
-    for context, stats in data["contexts"]:
-        sfg.contexts[tuple(context)] = _context_from_dict(stats)
-    return StatisticalProfile(
-        name=data["name"],
-        order=data["order"],
-        sfg=sfg,
-        trace_instructions=data["trace_instructions"],
-        branch_mode=data["branch_mode"],
-        perfect_caches=data["perfect_caches"],
-        config=_config_from_dict(data["config"]),
-    )
+    order = data["order"]
+    if not isinstance(order, int) or isinstance(order, bool) or order < 0:
+        raise ArtifactCorruptError(
+            f"profile order must be a non-negative integer, "
+            f"got {order!r}")
+    if data["branch_mode"] not in BRANCH_MODES:
+        raise ArtifactCorruptError(
+            f"profile branch_mode must be one of {BRANCH_MODES}, "
+            f"got {data['branch_mode']!r}")
+    for history, _counts in data["transitions"]:
+        if len(history) != order:
+            raise ArtifactCorruptError(
+                f"transition history {history!r} has length "
+                f"{len(history)}; an order-{order} profile requires "
+                f"{order}")
+    for context, _stats in data["contexts"]:
+        if len(context) != order + 1:
+            raise ArtifactCorruptError(
+                f"context {context!r} has length {len(context)}; an "
+                f"order-{order} profile requires {order + 1}")
+
+
+def _payload_checksum(data: Dict) -> str:
+    from repro.runner.checkpoint import payload_checksum
+
+    return payload_checksum(data)
+
+
+def profile_from_dict(data: Dict) -> StatisticalProfile:
+    """Reconstruct a profile from :func:`profile_to_dict` output.
+
+    The input is untrusted (it usually comes off disk): structure,
+    order, branch mode and — when present — the embedded ``checksum``
+    are all verified, and any inconsistency raises
+    :class:`ArtifactCorruptError`.
+    """
+    if isinstance(data, dict) and "checksum" in data:
+        data = dict(data)
+        stored = data.pop("checksum")
+        actual = _payload_checksum(data)
+        if stored != actual:
+            raise ArtifactCorruptError(
+                f"profile failed its integrity check (stored "
+                f"{str(stored)[:12]}..., computed {actual[:12]}...)")
+    _validate_profile_dict(data)
+    try:
+        sfg = StatisticalFlowGraph(order=data["order"])
+        sfg.total_block_executions = data["total_block_executions"]
+        for history, counts in data["transitions"]:
+            sfg.transitions[tuple(history)] = {
+                int(block): count for block, count in counts.items()
+            }
+        for context, stats in data["contexts"]:
+            sfg.contexts[tuple(context)] = _context_from_dict(stats)
+        return StatisticalProfile(
+            name=data["name"],
+            order=data["order"],
+            sfg=sfg,
+            trace_instructions=data["trace_instructions"],
+            branch_mode=data["branch_mode"],
+            perfect_caches=data["perfect_caches"],
+            config=_config_from_dict(data["config"]),
+        )
+    except (KeyError, TypeError, AttributeError) as exc:
+        raise ArtifactCorruptError(
+            f"profile payload is malformed: {exc!r}") from exc
 
 
 def save_profile(profile: StatisticalProfile,
                  path: Union[str, Path]) -> None:
-    """Write *profile* to *path* as JSON."""
-    Path(path).write_text(json.dumps(profile_to_dict(profile)))
+    """Write *profile* to *path* as JSON, atomically.
+
+    The document is first written to ``<path>.tmp`` and moved into
+    place with ``os.replace``, and it embeds a SHA-256 ``checksum``
+    over the payload — an interrupted save can never leave a partial
+    profile where a complete one is expected, and any later truncation
+    or corruption is detected at load time.
+    """
+    path = Path(path)
+    data = profile_to_dict(profile)
+    data["checksum"] = _payload_checksum(data)
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(json.dumps(data))
+    os.replace(tmp, path)
 
 
 def load_profile(path: Union[str, Path]) -> StatisticalProfile:
-    """Load a profile previously written by :func:`save_profile`."""
-    return profile_from_dict(json.loads(Path(path).read_text()))
+    """Load a profile previously written by :func:`save_profile`.
+
+    Raises :class:`ArtifactCorruptError` when the file is unreadable,
+    truncated (invalid JSON), fails its checksum, or is structurally
+    invalid — never a bare ``JSONDecodeError``.
+    """
+    path = Path(path)
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        raise ArtifactCorruptError(
+            f"cannot read profile {path}: {exc}") from exc
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ArtifactCorruptError(
+            f"profile {path} is not valid JSON (truncated write?): "
+            f"{exc}") from exc
+    return profile_from_dict(data)

@@ -30,6 +30,7 @@ from heapq import heappop, heappush
 from typing import Dict, List, Optional
 
 from repro.config import MachineConfig
+from repro.errors import SimulationError
 from repro.isa.iclass import FunctionalUnit
 from repro.branch.unit import BranchOutcome
 from repro.cpu.results import SimulationResult
@@ -65,6 +66,16 @@ class SuperscalarPipeline:
 
     def __init__(self, config: MachineConfig,
                  source: InstructionSource) -> None:
+        # MachineConfig validates its own widths/sizes; these are the
+        # derived and unvalidated knobs a livelocked pipeline would
+        # otherwise only reveal as an infinite loop.
+        for knob in ("fetch_width", "ifq_size", "decode_width",
+                     "issue_width", "commit_width", "ruu_size"):
+            value = getattr(config, knob)
+            if value < 1:
+                raise SimulationError(
+                    f"machine config {knob} must be >= 1, got {value!r}; "
+                    f"the pipeline cannot make progress")
         self.config = config
         self.source = source
 

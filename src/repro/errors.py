@@ -1,0 +1,64 @@
+"""Structured error hierarchy for the statistical simulation stack.
+
+Every layer boundary raises a :class:`ReproError` subclass so callers —
+most importantly the fault-tolerant task runner
+(:mod:`repro.runner`) — can tell retryable conditions (timeouts,
+injected transients) from fatal ones (corrupt artifacts, invalid
+inputs) without string-matching messages.
+
+The subclasses also inherit the closest builtin exception
+(:class:`ValueError`, :class:`TimeoutError`, ...) so code written
+against the pre-hierarchy API keeps working.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every structured error raised by this package.
+
+    ``retryable`` marks conditions a supervisor may reasonably retry
+    (transient faults, timeouts); everything else is deterministic and
+    retrying would only repeat the failure.
+    """
+
+    retryable: bool = False
+
+
+class ProfileError(ReproError, ValueError):
+    """Invalid input to statistical profiling (bad order, branch mode,
+    or malformed trace)."""
+
+
+class SynthesisError(ReproError, ValueError):
+    """Synthetic trace generation failed (bad reduction factor, empty
+    or foreign flow graph)."""
+
+
+class SimulationError(ReproError, ValueError):
+    """The pipeline simulator was given an unusable configuration or
+    instruction source."""
+
+
+class ArtifactCorruptError(ReproError, ValueError):
+    """A persisted artifact (profile, checkpoint) is truncated,
+    fails its checksum, or is missing required fields."""
+
+
+class TaskTimeoutError(ReproError, TimeoutError):
+    """A work unit exceeded its wall-clock budget."""
+
+    retryable = True
+
+
+class InjectedFaultError(ReproError):
+    """A transient failure injected by the fault-injection hook
+    (:mod:`repro.runner.faults`); used to test the runner against
+    itself."""
+
+    retryable = True
+
+
+def is_retryable(error: BaseException) -> bool:
+    """Whether a supervisor should consider retrying after *error*."""
+    return bool(getattr(error, "retryable", False))

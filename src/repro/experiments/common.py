@@ -11,11 +11,17 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.config import MachineConfig, baseline_config
 from repro.frontend.trace import Trace
 from repro.frontend.warming import run_program_with_warmup
+from repro.runner import (
+    ResultRows,
+    TaskRunner,
+    WorkUnit,
+    report_footer,
+)
 from repro.workloads.spec import benchmark_names, build_benchmark
 
 
@@ -71,16 +77,87 @@ def prepare_benchmark(name: str,
                                    n_instructions=scale.reference)
 
 
-def prepare_suite(scale: ExperimentScale
-                  ) -> Dict[str, Tuple[Trace, Trace]]:
-    """Prepared (warmup, reference) windows for every scale benchmark."""
-    return {name: prepare_benchmark(name, scale)
-            for name in scale.benchmarks}
+class PreparedSuite(Dict[str, Tuple[Trace, Trace]]):
+    """Benchmark name -> (warmup, reference) windows, plus the
+    :class:`~repro.runner.RunReport` of the preparation pass."""
+
+    report = None
+
+
+def prepare_suite(scale: ExperimentScale,
+                  runner: Optional[TaskRunner] = None) -> PreparedSuite:
+    """Prepared (warmup, reference) windows for every scale benchmark.
+
+    Preparation runs through the fault-tolerant runner (without
+    checkpointing — traces are not persisted): a workload that fails to
+    build or execute is dropped from the suite with its failure
+    recorded on ``suite.report`` instead of aborting every experiment
+    that shares the suite.
+    """
+    runner = runner if runner is not None else TaskRunner()
+    units = [WorkUnit(experiment="prepare", benchmark=name)
+             for name in scale.benchmarks]
+    report = runner.run(
+        units, lambda unit: prepare_benchmark(unit.benchmark, scale))
+    suite = PreparedSuite()
+    for outcome in report.outcomes:
+        if outcome.status != "failed" and outcome.result is not None:
+            suite[outcome.benchmark] = outcome.result
+    suite.report = report
+    return suite
 
 
 def suite_config() -> MachineConfig:
     """The Table 2 baseline configuration."""
     return baseline_config()
+
+
+def run_per_benchmark(experiment: str,
+                      scale: ExperimentScale,
+                      unit_fn: Callable[[str, ExperimentScale], object],
+                      runner: Optional[TaskRunner] = None,
+                      benchmarks: Optional[Sequence[str]] = None
+                      ) -> ResultRows:
+    """Execute ``unit_fn(benchmark, scale)`` per benchmark through the
+    fault-tolerant runner.
+
+    Each benchmark is one :class:`~repro.runner.WorkUnit`: an exception
+    in one benchmark no longer aborts the suite — the unit is retried
+    (when retryable), then recorded as a structured failure and dropped
+    from the returned rows, with the :class:`~repro.runner.RunReport`
+    attached as ``rows.report`` so renderers can surface warnings and
+    the ``N ok / M failed / K skipped`` summary.  Pass a *runner* with
+    a run directory to get checkpoint/resume.
+
+    ``unit_fn`` may return one row dict or a list of row dicts; the
+    value must be JSON-serializable for checkpoints to round-trip.
+    """
+    runner = runner if runner is not None else TaskRunner()
+    names = tuple(benchmarks) if benchmarks is not None \
+        else scale.benchmarks
+    units = [WorkUnit(experiment=experiment, benchmark=name)
+             for name in names]
+    report = runner.run(
+        units, lambda unit: unit_fn(unit.benchmark, scale),
+        manifest={"experiment": experiment,
+                  "benchmarks": list(names),
+                  "warmup": scale.warmup,
+                  "reference": scale.reference,
+                  "reduction_factor": scale.reduction_factor,
+                  "seeds": list(scale.seeds)})
+    rows: List[Dict] = []
+    for result in report.results:
+        if isinstance(result, list):
+            rows.extend(result)
+        elif result is not None:
+            rows.append(result)
+    return ResultRows(rows, report=report)
+
+
+def with_report_footer(table: str, rows: Sequence[Dict]) -> str:
+    """Append degradation warnings / run summary to a rendered table."""
+    footer = report_footer(rows)
+    return table + "\n" + footer if footer else table
 
 
 def format_table(headers: Sequence[str],

@@ -8,7 +8,7 @@ track execution-driven simulation with a modest average error (paper:
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.core.framework import (
     run_execution_driven,
@@ -17,49 +17,56 @@ from repro.core.framework import (
 from repro.core.metrics import absolute_error
 from repro.core.profiler import profile_trace
 from repro.power.wattch import energy_delay_product
+from repro.runner import TaskRunner
 from repro.experiments.common import (
     DEFAULT_SCALE,
     ExperimentScale,
     format_table,
     mean,
-    prepare_suite,
+    prepare_benchmark,
+    run_per_benchmark,
     suite_config,
+    with_report_footer,
 )
 
 
-def run(scale: ExperimentScale = DEFAULT_SCALE) -> List[Dict]:
+def _measure_benchmark(name: str, scale: ExperimentScale) -> Dict:
+    config = suite_config()
+    warm, trace = prepare_benchmark(name, scale)
+    reference, ref_power = run_execution_driven(trace, config,
+                                                warmup_trace=warm)
+    profile = profile_trace(trace, config, order=1,
+                            branch_mode="delayed", warmup_trace=warm)
+    reports = [
+        run_statistical_simulation(
+            trace, config, profile=profile,
+            reduction_factor=scale.reduction_factor, seed=seed)
+        for seed in scale.seeds
+    ]
+    ss_ipc = mean([r.ipc for r in reports])
+    ss_epc = mean([r.epc for r in reports])
+    eds_edp = energy_delay_product(ref_power.total, reference.ipc)
+    ss_edp = energy_delay_product(ss_epc, ss_ipc)
+    return {
+        "benchmark": name,
+        "eds_ipc": reference.ipc,
+        "ss_ipc": ss_ipc,
+        "ipc_error": absolute_error(ss_ipc, reference.ipc),
+        "eds_epc": ref_power.total,
+        "ss_epc": ss_epc,
+        "epc_error": absolute_error(ss_epc, ref_power.total),
+        "eds_edp": eds_edp,
+        "ss_edp": ss_edp,
+        "edp_error": absolute_error(ss_edp, eds_edp),
+    }
+
+
+def run(scale: ExperimentScale = DEFAULT_SCALE,
+        runner: Optional[TaskRunner] = None) -> List[Dict]:
     """One row per benchmark: EDS and SS estimates of IPC/EPC/EDP and
     the corresponding absolute errors."""
-    config = suite_config()
-    rows = []
-    for name, (warm, trace) in prepare_suite(scale).items():
-        reference, ref_power = run_execution_driven(trace, config,
-                                                    warmup_trace=warm)
-        profile = profile_trace(trace, config, order=1,
-                                branch_mode="delayed", warmup_trace=warm)
-        reports = [
-            run_statistical_simulation(
-                trace, config, profile=profile,
-                reduction_factor=scale.reduction_factor, seed=seed)
-            for seed in scale.seeds
-        ]
-        ss_ipc = mean([r.ipc for r in reports])
-        ss_epc = mean([r.epc for r in reports])
-        eds_edp = energy_delay_product(ref_power.total, reference.ipc)
-        ss_edp = energy_delay_product(ss_epc, ss_ipc)
-        rows.append({
-            "benchmark": name,
-            "eds_ipc": reference.ipc,
-            "ss_ipc": ss_ipc,
-            "ipc_error": absolute_error(ss_ipc, reference.ipc),
-            "eds_epc": ref_power.total,
-            "ss_epc": ss_epc,
-            "epc_error": absolute_error(ss_epc, ref_power.total),
-            "eds_edp": eds_edp,
-            "ss_edp": ss_edp,
-            "edp_error": absolute_error(ss_edp, eds_edp),
-        })
-    return rows
+    return run_per_benchmark("fig6", scale, _measure_benchmark,
+                             runner=runner)
 
 
 def average_errors(rows: List[Dict]) -> Dict[str, float]:
@@ -80,7 +87,7 @@ def format_rows(rows: List[Dict]) -> str:
     footer = ("average errors: "
               + "  ".join(f"{k.upper()} {v * 100:.1f}%"
                           for k, v in averages.items()))
-    return table + "\n" + footer
+    return with_report_footer(table + "\n" + footer, rows)
 
 
 if __name__ == "__main__":  # pragma: no cover

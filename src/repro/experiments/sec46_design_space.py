@@ -16,7 +16,7 @@ optimum are re-evaluated execution-driven.
 from __future__ import annotations
 
 from itertools import product
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.config import MachineConfig
 from repro.core.framework import (
@@ -25,13 +25,16 @@ from repro.core.framework import (
 )
 from repro.core.profiler import profile_trace
 from repro.power.wattch import energy_delay_product
+from repro.runner import TaskRunner
 from repro.experiments.common import (
     DEFAULT_SCALE,
     ExperimentScale,
     format_table,
     mean,
     prepare_benchmark,
+    run_per_benchmark,
     suite_config,
+    with_report_footer,
 )
 
 DEFAULT_RUU = (16, 32, 64, 128)
@@ -119,14 +122,20 @@ def run(benchmark: str = "twolf",
 
 
 def run_suite(benchmarks: Sequence[str] = ("twolf", "gzip", "parser"),
-              scale: ExperimentScale = DEFAULT_SCALE, **kwargs
+              scale: ExperimentScale = DEFAULT_SCALE,
+              runner: Optional[TaskRunner] = None, **kwargs
               ) -> List[Dict]:
-    return [run(benchmark, scale=scale, **kwargs)
-            for benchmark in benchmarks]
+    """One grid exploration per benchmark, each as an independent work
+    unit of the fault-tolerant runner (a 100+-point grid is exactly the
+    long batch job that must survive one benchmark crashing)."""
+    return run_per_benchmark(
+        "sec46", scale,
+        lambda name, sc: run(name, scale=sc, **kwargs),
+        runner=runner, benchmarks=benchmarks)
 
 
 def format_rows(rows: List[Dict]) -> str:
-    return format_table(
+    table = format_table(
         ["benchmark", "grid", "verified", "SS optimum",
          "EDS optimum", "found", "EDP gap"],
         [(r["benchmark"], r["grid_points"], r["candidates_verified"],
@@ -134,6 +143,7 @@ def format_rows(rows: List[Dict]) -> str:
           "yes" if r["found_optimal"] else "no",
           f"{r['edp_gap'] * 100:.2f}%") for r in rows],
     )
+    return with_report_footer(table, rows)
 
 
 if __name__ == "__main__":  # pragma: no cover

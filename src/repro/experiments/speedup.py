@@ -13,7 +13,7 @@ design-point count.
 from __future__ import annotations
 
 import time
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.core.framework import (
     run_execution_driven,
@@ -21,58 +21,65 @@ from repro.core.framework import (
 )
 from repro.core.profiler import profile_trace
 from repro.core.synthesis import generate_synthetic_trace
+from repro.runner import TaskRunner
 from repro.experiments.common import (
     DEFAULT_SCALE,
     ExperimentScale,
     format_table,
     mean,
-    prepare_suite,
+    prepare_benchmark,
+    run_per_benchmark,
     suite_config,
+    with_report_footer,
 )
 
 
-def run(scale: ExperimentScale = DEFAULT_SCALE) -> List[Dict]:
+def _measure_benchmark(name: str, scale: ExperimentScale) -> Dict:
+    config = suite_config()
+    warm, trace = prepare_benchmark(name, scale)
+    started = time.perf_counter()
+    run_execution_driven(trace, config, warmup_trace=warm)
+    eds_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    profile = profile_trace(trace, config, order=1,
+                            branch_mode="delayed", warmup_trace=warm)
+    profile_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    synthetic = generate_synthetic_trace(
+        profile, scale.reduction_factor, seed=0)
+    synthesis_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    simulate_synthetic_trace(synthetic, config)
+    ss_seconds = time.perf_counter() - started
+
+    per_point_speedup = eds_seconds / max(ss_seconds, 1e-9)
+    one_time = profile_seconds + synthesis_seconds
+    # Design points after which SS (profile once, simulate cheap)
+    # beats repeating EDS per point.
+    saved_per_point = eds_seconds - ss_seconds
+    breakeven = (one_time / saved_per_point
+                 if saved_per_point > 0 else float("inf"))
+    return {
+        "benchmark": name,
+        "eds_seconds": eds_seconds,
+        "profile_seconds": profile_seconds,
+        "synthesis_seconds": synthesis_seconds,
+        "ss_seconds": ss_seconds,
+        "synthetic_instructions": len(synthetic),
+        "per_point_speedup": per_point_speedup,
+        "breakeven_points": breakeven,
+    }
+
+
+def run(scale: ExperimentScale = DEFAULT_SCALE,
+        runner: Optional[TaskRunner] = None) -> List[Dict]:
     """One row per benchmark: wall-clock seconds for EDS, profiling,
     synthesis and synthetic simulation, plus derived speedups."""
-    config = suite_config()
-    rows = []
-    for name, (warm, trace) in prepare_suite(scale).items():
-        started = time.perf_counter()
-        run_execution_driven(trace, config, warmup_trace=warm)
-        eds_seconds = time.perf_counter() - started
-
-        started = time.perf_counter()
-        profile = profile_trace(trace, config, order=1,
-                                branch_mode="delayed", warmup_trace=warm)
-        profile_seconds = time.perf_counter() - started
-
-        started = time.perf_counter()
-        synthetic = generate_synthetic_trace(
-            profile, scale.reduction_factor, seed=0)
-        synthesis_seconds = time.perf_counter() - started
-
-        started = time.perf_counter()
-        simulate_synthetic_trace(synthetic, config)
-        ss_seconds = time.perf_counter() - started
-
-        per_point_speedup = eds_seconds / max(ss_seconds, 1e-9)
-        one_time = profile_seconds + synthesis_seconds
-        # Design points after which SS (profile once, simulate cheap)
-        # beats repeating EDS per point.
-        saved_per_point = eds_seconds - ss_seconds
-        breakeven = (one_time / saved_per_point
-                     if saved_per_point > 0 else float("inf"))
-        rows.append({
-            "benchmark": name,
-            "eds_seconds": eds_seconds,
-            "profile_seconds": profile_seconds,
-            "synthesis_seconds": synthesis_seconds,
-            "ss_seconds": ss_seconds,
-            "synthetic_instructions": len(synthetic),
-            "per_point_speedup": per_point_speedup,
-            "breakeven_points": breakeven,
-        })
-    return rows
+    return run_per_benchmark("speedup", scale, _measure_benchmark,
+                             runner=runner)
 
 
 def format_rows(rows: List[Dict]) -> str:
@@ -86,7 +93,7 @@ def format_rows(rows: List[Dict]) -> str:
     footer = (f"mean per-design-point speedup: "
               f"{mean([r['per_point_speedup'] for r in rows]):.1f}x "
               f"at R = (reference / synthetic) length ratio")
-    return table + "\n" + footer
+    return with_report_footer(table + "\n" + footer, rows)
 
 
 if __name__ == "__main__":  # pragma: no cover

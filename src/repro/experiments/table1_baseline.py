@@ -8,39 +8,51 @@ memory-bound workloads slowest.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.core.framework import run_execution_driven
+from repro.runner import TaskRunner
 from repro.experiments.common import (
     DEFAULT_SCALE,
     ExperimentScale,
     format_table,
-    prepare_suite,
+    prepare_benchmark,
+    run_per_benchmark,
     suite_config,
+    with_report_footer,
 )
 
 
-def run(scale: ExperimentScale = DEFAULT_SCALE) -> List[Dict]:
-    """Return one row per benchmark: name, IPC, mispredictions/1K."""
+def _measure_benchmark(name: str, scale: ExperimentScale) -> Dict:
     config = suite_config()
-    rows = []
-    for name, (warm, trace) in prepare_suite(scale).items():
-        result, power = run_execution_driven(trace, config,
-                                             warmup_trace=warm)
-        rows.append({
-            "benchmark": name,
-            "ipc": result.ipc,
-            "epc": power.total,
-            "mpki": result.mispredictions_per_kilo_instruction,
-        })
-    return rows
+    warm, trace = prepare_benchmark(name, scale)
+    result, power = run_execution_driven(trace, config,
+                                         warmup_trace=warm)
+    return {
+        "benchmark": name,
+        "ipc": result.ipc,
+        "epc": power.total,
+        "mpki": result.mispredictions_per_kilo_instruction,
+    }
+
+
+def run(scale: ExperimentScale = DEFAULT_SCALE,
+        runner: Optional[TaskRunner] = None) -> List[Dict]:
+    """Return one row per benchmark: name, IPC, mispredictions/1K.
+
+    Benchmarks run as independent work units; see
+    :func:`repro.experiments.common.run_per_benchmark`.
+    """
+    return run_per_benchmark("table1", scale, _measure_benchmark,
+                             runner=runner)
 
 
 def format_rows(rows: List[Dict]) -> str:
-    return format_table(
+    table = format_table(
         ["benchmark", "IPC", "EPC (W/cycle)", "mispredicts/1K"],
         [(r["benchmark"], r["ipc"], r["epc"], r["mpki"]) for r in rows],
     )
+    return with_report_footer(table, rows)
 
 
 if __name__ == "__main__":  # pragma: no cover

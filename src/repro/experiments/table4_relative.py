@@ -29,13 +29,15 @@ from repro.core.metrics import relative_error
 from repro.core.profiler import StatisticalProfile, profile_trace
 from repro.cpu.results import SimulationResult
 from repro.power.wattch import PowerBreakdown
+from repro.runner import ResultRows, TaskRunner, WorkUnit
 from repro.experiments.common import (
     DEFAULT_SCALE,
     ExperimentScale,
     format_table,
     mean,
-    prepare_suite,
+    prepare_benchmark,
     suite_config,
+    with_report_footer,
 )
 
 #: Metrics per sweep, following the paper's Table 4 sub-tables.
@@ -124,37 +126,72 @@ def _measure(trace, warm, config: MachineConfig, scale: ExperimentScale,
     return eds, ss
 
 
+def _measure_sweep_benchmark(name: str, sweep: str,
+                             scale: ExperimentScale,
+                             definitions) -> List[List[Dict]]:
+    """All design-point measurements of one benchmark along one sweep:
+    ``[[eds_metrics, ss_metrics], ...]`` per sweep point (the unit of
+    checkpointing, hence plain JSON lists)."""
+    sweep_points, builder, label, reprofile, metrics = definitions[sweep]
+    warm, trace = prepare_benchmark(name, scale)
+    base_profile = None
+    if not reprofile:
+        base_config = builder(sweep_points[0])
+        base_profile = profile_trace(trace, base_config, order=1,
+                                     branch_mode="delayed",
+                                     warmup_trace=warm)
+    return [list(_measure(trace, warm, builder(point), scale,
+                          base_profile))
+            for point in sweep_points]
+
+
 def run(scale: ExperimentScale = DEFAULT_SCALE,
         sweeps: Sequence[str] = ("window", "width", "ifq", "bpred",
                                  "cache"),
-        points: Optional[Dict[str, Sequence]] = None) -> List[Dict]:
-    """Rows: sweep, transition label, metric, mean relative error."""
+        points: Optional[Dict[str, Sequence]] = None,
+        runner: Optional[TaskRunner] = None) -> List[Dict]:
+    """Rows: sweep, transition label, metric, mean relative error.
+
+    Every ``(sweep, benchmark)`` pair is one work unit of the
+    fault-tolerant runner: a failing benchmark is dropped from that
+    sweep's averages (with a warning in the rendered table) rather
+    than aborting the whole experiment, and a checkpointing runner
+    resumes a killed sweep without re-measuring finished pairs.
+    """
     definitions = _sweep_definitions(points)
-    suite = prepare_suite(scale)
+    runner = runner if runner is not None else TaskRunner()
+    units = [WorkUnit("table4", benchmark=name,
+                      params=(("sweep", sweep),))
+             for sweep in sweeps for name in scale.benchmarks]
+    report = runner.run(
+        units,
+        lambda unit: _measure_sweep_benchmark(
+            unit.benchmark, dict(unit.params)["sweep"], scale,
+            definitions),
+        manifest={"experiment": "table4", "sweeps": list(sweeps),
+                  "benchmarks": list(scale.benchmarks)})
+    # measurements[sweep][benchmark][point_index] -> [eds, ss]
+    unit_sweeps = {unit.unit_id: dict(unit.params)["sweep"]
+                   for unit in units}
+    per_sweep: Dict[str, Dict[str, List[List[Dict]]]] = \
+        {sweep: {} for sweep in sweeps}
+    for outcome in report.outcomes:
+        if outcome.status == "failed" or outcome.result is None:
+            continue
+        sweep = unit_sweeps[outcome.unit_id]
+        per_sweep[sweep][outcome.benchmark] = outcome.result
+
     rows: List[Dict] = []
     for sweep in sweeps:
         sweep_points, builder, label, reprofile, metrics = \
             definitions[sweep]
-        # measurements[benchmark][point_index] -> (eds, ss)
-        measurements: Dict[str, List[Tuple[Dict, Dict]]] = {}
-        for name, (warm, trace) in suite.items():
-            base_profile = None
-            if not reprofile:
-                base_config = builder(sweep_points[0])
-                base_profile = profile_trace(trace, base_config, order=1,
-                                             branch_mode="delayed",
-                                             warmup_trace=warm)
-            measurements[name] = [
-                _measure(trace, warm, builder(point), scale,
-                         base_profile)
-                for point in sweep_points
-            ]
+        measurements = per_sweep[sweep]
         for i in range(len(sweep_points) - 1):
             transition = f"{label(sweep_points[i])} -> " \
                          f"{label(sweep_points[i + 1])}"
             for metric in metrics:
                 errors = []
-                for name in suite:
+                for name in measurements:
                     eds_a, ss_a = measurements[name][i]
                     eds_b, ss_b = measurements[name][i + 1]
                     if 0 in (eds_a[metric], eds_b[metric],
@@ -170,7 +207,7 @@ def run(scale: ExperimentScale = DEFAULT_SCALE,
                         "metric": metric,
                         "relative_error": mean(errors),
                     })
-    return rows
+    return ResultRows(rows, report=report)
 
 
 def average_by_sweep(rows: List[Dict]) -> Dict[str, float]:
@@ -190,7 +227,7 @@ def format_rows(rows: List[Dict]) -> str:
     footer = "averages: " + "  ".join(
         f"{sweep} {value * 100:.2f}%"
         for sweep, value in sorted(averages.items()))
-    return table + "\n" + footer
+    return with_report_footer(table + "\n" + footer, rows)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -1,0 +1,36 @@
+"""Fault-tolerant experiment execution: task runner, checkpoints,
+fault injection.
+
+See :mod:`repro.runner.runner` for semantics and ``docs/robustness.md``
+for the operational guide.
+"""
+
+from repro.runner.checkpoint import (
+    CheckpointStore,
+    payload_checksum,
+    read_json_checked,
+    sanitize_unit_id,
+    write_json_atomic,
+)
+from repro.runner.faults import FaultPlan
+from repro.runner.runner import (
+    FAILED,
+    OK,
+    SKIPPED,
+    ResultRows,
+    RunnerPolicy,
+    RunReport,
+    TaskRunner,
+    UnitOutcome,
+    WorkUnit,
+    report_footer,
+)
+
+__all__ = [
+    "CheckpointStore", "payload_checksum", "read_json_checked",
+    "sanitize_unit_id", "write_json_atomic",
+    "FaultPlan",
+    "OK", "FAILED", "SKIPPED",
+    "ResultRows", "RunnerPolicy", "RunReport", "TaskRunner",
+    "UnitOutcome", "WorkUnit", "report_footer",
+]

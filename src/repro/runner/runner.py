@@ -1,0 +1,341 @@
+"""Fault-tolerant task runner (the experiment execution subsystem).
+
+The paper's economics rest on running *many* design points per profile
+(Figure 1; the section 4.6 sweep evaluates 1,792 configurations), so a
+multi-benchmark experiment is a batch job: one crashed benchmark must
+not discard the other nine benchmarks' finished work.  This module
+decomposes an experiment into :class:`WorkUnit`\\ s and executes each
+with
+
+* **exception containment** — a unit that raises is recorded as a
+  structured failure instead of aborting the suite;
+* **wall-clock timeouts** — a hung unit becomes a retryable
+  :class:`~repro.errors.TaskTimeoutError`;
+* **bounded retry with backoff** — retryable errors (timeouts,
+  injected transients) are re-attempted up to ``max_retries`` times;
+* **checkpoint/resume** — each completed unit is persisted atomically
+  to a run directory, so a killed sweep resumes where it stopped and
+  re-runs only failed or missing units.
+
+A unit that exhausts its retries degrades gracefully: it is excluded
+from aggregate tables (with an explicit warning in the rendered
+output) and surfaced in the run summary as ``N ok / M failed /
+K skipped`` instead of crashing the experiment.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from repro.errors import (
+    ArtifactCorruptError,
+    TaskTimeoutError,
+    is_retryable,
+)
+from repro.runner.checkpoint import CheckpointStore
+from repro.runner.faults import FaultPlan
+
+#: Sentinel: "no explicit plan given, consult the environment".
+_ENV_PLAN = object()
+
+OK = "ok"
+FAILED = "failed"
+SKIPPED = "skipped"
+
+
+@dataclass(frozen=True)
+class WorkUnit:
+    """One independently executable piece of an experiment."""
+
+    experiment: str
+    benchmark: Optional[str] = None
+    seed: Optional[int] = None
+    params: Tuple[Tuple[str, Any], ...] = ()
+
+    @property
+    def unit_id(self) -> str:
+        parts = [self.experiment]
+        if self.benchmark is not None:
+            parts.append(self.benchmark)
+        if self.seed is not None:
+            parts.append(f"seed{self.seed}")
+        parts.extend(f"{key}={value}" for key, value in self.params)
+        return "/".join(parts)
+
+
+@dataclass(frozen=True)
+class RunnerPolicy:
+    """Execution policy: timeout and retry behaviour per unit."""
+
+    timeout: Optional[float] = None
+    max_retries: int = 2
+    backoff_base: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_cap: float = 2.0
+
+    def backoff(self, attempt: int) -> float:
+        """Seconds to sleep before retry number *attempt* (1-based)."""
+        delay = self.backoff_base * (self.backoff_factor ** (attempt - 1))
+        return min(delay, self.backoff_cap)
+
+
+@dataclass
+class UnitOutcome:
+    """What happened to one work unit."""
+
+    unit_id: str
+    status: str  # OK | FAILED | SKIPPED
+    benchmark: Optional[str] = None
+    seed: Optional[int] = None
+    result: Optional[Any] = None
+    error: Optional[Dict[str, Any]] = None
+    attempts: int = 0
+    elapsed: float = 0.0
+
+    def to_payload(self) -> Dict[str, Any]:
+        status = OK if self.status == SKIPPED else self.status
+        return {
+            "unit_id": self.unit_id,
+            "benchmark": self.benchmark,
+            "seed": self.seed,
+            "status": status,
+            "result": self.result,
+            "error": self.error,
+            "attempts": self.attempts,
+            "elapsed": self.elapsed,
+        }
+
+
+@dataclass
+class RunReport:
+    """Aggregate outcome of one runner invocation."""
+
+    outcomes: List[UnitOutcome] = field(default_factory=list)
+
+    def _with_status(self, status: str) -> List[UnitOutcome]:
+        return [o for o in self.outcomes if o.status == status]
+
+    @property
+    def ok(self) -> List[UnitOutcome]:
+        return self._with_status(OK)
+
+    @property
+    def failed(self) -> List[UnitOutcome]:
+        return self._with_status(FAILED)
+
+    @property
+    def skipped(self) -> List[UnitOutcome]:
+        return self._with_status(SKIPPED)
+
+    @property
+    def results(self) -> List[Any]:
+        """Results of successful units (fresh and resumed), in unit
+        order."""
+        return [o.result for o in self.outcomes if o.status != FAILED]
+
+    def summary(self) -> str:
+        return (f"{len(self.ok)} ok / {len(self.failed)} failed / "
+                f"{len(self.skipped)} skipped")
+
+    def warning_lines(self) -> List[str]:
+        lines = []
+        for outcome in self.failed:
+            error = outcome.error or {}
+            lines.append(
+                f"WARNING: {outcome.unit_id} failed after "
+                f"{outcome.attempts} attempt(s): "
+                f"{error.get('type', 'Error')}: "
+                f"{error.get('message', 'unknown error')}")
+        return lines
+
+
+class ResultRows(List[Dict]):
+    """Experiment rows plus the run report that produced them.
+
+    Behaves exactly like the plain ``List[Dict]`` experiments always
+    returned, so existing callers are unaffected; renderers inspect
+    ``.report`` to append degradation warnings and the run summary.
+    """
+
+    report: Optional[RunReport]
+
+    def __init__(self, rows: Sequence[Dict] = (),
+                 report: Optional[RunReport] = None) -> None:
+        super().__init__(rows)
+        self.report = report
+
+
+def report_footer(rows: Sequence[Dict]) -> str:
+    """Warning + summary lines for a table built from *rows*, or ""
+    when every unit succeeded and nothing was resumed."""
+    report = getattr(rows, "report", None)
+    if report is None:
+        return ""
+    lines = report.warning_lines()
+    if lines or report.skipped:
+        lines.append(f"run summary: {report.summary()}")
+    return "\n".join(lines)
+
+
+def _error_info(error: BaseException) -> Dict[str, Any]:
+    return {
+        "type": type(error).__name__,
+        "message": str(error),
+        "retryable": is_retryable(error),
+    }
+
+
+class TaskRunner:
+    """Executes work units with containment, timeouts, retries and
+    checkpointing.  See the module docstring for semantics."""
+
+    def __init__(
+        self,
+        policy: Optional[RunnerPolicy] = None,
+        run_dir: Optional[Union[str, "Path"]] = None,
+        resume: bool = False,
+        fault_plan: Any = _ENV_PLAN,
+        raise_on_total_failure: bool = True,
+        log: Optional[Callable[[str], None]] = None,
+    ) -> None:
+        self.policy = policy or RunnerPolicy()
+        self.store = CheckpointStore(run_dir) if run_dir else None
+        self.resume = resume
+        if fault_plan is _ENV_PLAN:
+            fault_plan = FaultPlan.from_env()
+        self.fault_plan: Optional[FaultPlan] = fault_plan
+        self.raise_on_total_failure = raise_on_total_failure
+        self.log = log or (lambda message: None)
+        self.last_report: Optional[RunReport] = None
+
+    # -- execution -----------------------------------------------------
+
+    def _call_with_timeout(self, fn: Callable[[WorkUnit], Any],
+                           unit: WorkUnit) -> Any:
+        timeout = self.policy.timeout
+        if timeout is None:
+            return fn(unit)
+        box: Dict[str, Any] = {}
+
+        def worker() -> None:
+            try:
+                box["result"] = fn(unit)
+            except BaseException as exc:  # noqa: BLE001 — re-raised below
+                box["error"] = exc
+
+        thread = threading.Thread(
+            target=worker, daemon=True,
+            name=f"repro-unit-{unit.unit_id}")
+        thread.start()
+        thread.join(timeout)
+        if thread.is_alive():
+            # The worker thread is abandoned (Python cannot kill it);
+            # being a daemon it will not block interpreter exit.
+            raise TaskTimeoutError(
+                f"{unit.unit_id} exceeded its {timeout:g}s budget")
+        if "error" in box:
+            raise box["error"]
+        return box["result"]
+
+    def _attempt_loop(self, fn: Callable[[WorkUnit], Any],
+                      unit: WorkUnit) -> UnitOutcome:
+        policy = self.policy
+        attempt = 0
+        started = time.perf_counter()
+        while True:
+            attempt += 1
+            try:
+                if self.fault_plan is not None:
+                    self.fault_plan.inject(unit.unit_id, unit.benchmark,
+                                           attempt)
+                result = self._call_with_timeout(fn, unit)
+            except Exception as exc:  # noqa: BLE001 — containment
+                if is_retryable(exc) and attempt <= policy.max_retries:
+                    delay = policy.backoff(attempt)
+                    self.log(f"{unit.unit_id}: attempt {attempt} failed "
+                             f"({type(exc).__name__}: {exc}); retrying "
+                             f"in {delay:g}s")
+                    if delay > 0:
+                        time.sleep(delay)
+                    continue
+                self._last_error = exc
+                return UnitOutcome(
+                    unit_id=unit.unit_id, status=FAILED,
+                    benchmark=unit.benchmark, seed=unit.seed,
+                    error=_error_info(exc), attempts=attempt,
+                    elapsed=time.perf_counter() - started)
+            return UnitOutcome(
+                unit_id=unit.unit_id, status=OK,
+                benchmark=unit.benchmark, seed=unit.seed,
+                result=result, attempts=attempt,
+                elapsed=time.perf_counter() - started)
+
+    def _resume_outcome(self, unit: WorkUnit) -> Optional[UnitOutcome]:
+        """A SKIPPED outcome when the unit already completed in a
+        previous run, else None (run it)."""
+        if self.store is None or not self.resume:
+            return None
+        try:
+            payload = self.store.load(unit.unit_id)
+        except ArtifactCorruptError as exc:
+            self.log(f"{unit.unit_id}: discarding corrupt checkpoint "
+                     f"({exc}); re-running")
+            self.store.discard(unit.unit_id)
+            return None
+        if payload is None or payload.get("status") != OK:
+            return None  # missing or failed units re-run
+        return UnitOutcome(
+            unit_id=unit.unit_id, status=SKIPPED,
+            benchmark=unit.benchmark, seed=unit.seed,
+            result=payload.get("result"),
+            attempts=int(payload.get("attempts", 1)),
+            elapsed=float(payload.get("elapsed", 0.0)))
+
+    def run(self, units: Sequence[WorkUnit],
+            fn: Callable[[WorkUnit], Any],
+            manifest: Optional[Dict[str, Any]] = None) -> RunReport:
+        """Execute every unit; return the aggregate report.
+
+        ``fn(unit)`` must return a JSON-serializable value for the
+        checkpoint to round-trip.  When every unit fails (and at least
+        one ran), the last exception is re-raised so a systematically
+        broken experiment still fails loudly.
+        """
+        if self.store is not None and manifest is not None:
+            self.store.write_manifest(manifest)
+        self._last_error: Optional[BaseException] = None
+        report = RunReport()
+        for unit in units:
+            outcome = self._resume_outcome(unit)
+            if outcome is None:
+                outcome = self._attempt_loop(fn, unit)
+                if self.store is not None:
+                    try:
+                        self.store.store(unit.unit_id,
+                                         outcome.to_payload())
+                    except (TypeError, ValueError) as exc:
+                        # Non-JSON-serializable result: the unit still
+                        # succeeded, it just cannot be resumed.
+                        self.log(f"{unit.unit_id}: result not "
+                                 f"checkpointable ({exc})")
+            else:
+                self.log(f"{unit.unit_id}: resumed from checkpoint")
+            report.outcomes.append(outcome)
+        self.last_report = report
+        if (self.raise_on_total_failure and report.outcomes
+                and len(report.failed) == len(report.outcomes)
+                and self._last_error is not None):
+            raise self._last_error
+        return report

@@ -1,10 +1,12 @@
-"""Tests for profile serialization (save/load round-trips)."""
+"""Tests for profile serialization (save/load round-trips) and
+artifact integrity (atomic writes, checksums, validation)."""
 
 import json
 
 import pytest
 
 from repro.config import baseline_config, simplescalar_default_config
+from repro.errors import ArtifactCorruptError
 from repro.core.profiler import profile_trace
 from repro.core.serialization import (
     load_profile,
@@ -76,4 +78,99 @@ class TestRoundTrip:
         data = profile_to_dict(profile)
         data["format"] = 99
         with pytest.raises(ValueError):
+            profile_from_dict(data)
+
+
+class TestArtifactIntegrity:
+    """save_profile is atomic and checksummed; load_profile turns every
+    corruption mode into a structured ArtifactCorruptError instead of a
+    bare JSONDecodeError/KeyError."""
+
+    def test_save_is_atomic_and_checksummed(self, profile, tmp_path):
+        path = tmp_path / "profile.json"
+        save_profile(profile, path)
+        assert not list(tmp_path.glob("*.tmp"))
+        data = json.loads(path.read_text())
+        assert "checksum" in data
+        assert load_profile(path).num_nodes == profile.num_nodes
+
+    def test_truncated_file_detected(self, profile, tmp_path):
+        path = tmp_path / "profile.json"
+        save_profile(profile, path)
+        text = path.read_text()
+        path.write_text(text[:len(text) // 2])
+        with pytest.raises(ArtifactCorruptError, match="JSON"):
+            load_profile(path)
+
+    def test_tampered_payload_detected(self, profile, tmp_path):
+        path = tmp_path / "profile.json"
+        save_profile(profile, path)
+        data = json.loads(path.read_text())
+        data["trace_instructions"] += 1  # checksum left stale
+        path.write_text(json.dumps(data))
+        with pytest.raises(ArtifactCorruptError, match="integrity"):
+            load_profile(path)
+
+    def test_empty_file_detected(self, tmp_path):
+        path = tmp_path / "profile.json"
+        path.write_text("")
+        with pytest.raises(ArtifactCorruptError):
+            load_profile(path)
+
+    def test_missing_file_detected(self, tmp_path):
+        with pytest.raises(ArtifactCorruptError, match="cannot read"):
+            load_profile(tmp_path / "nope.json")
+
+    def test_corrupt_error_is_a_value_error(self):
+        # Back-compat: callers catching ValueError keep working.
+        assert issubclass(ArtifactCorruptError, ValueError)
+
+
+class TestInputValidation:
+    """profile_from_dict no longer trusts its input."""
+
+    def test_missing_keys_named(self, profile):
+        data = profile_to_dict(profile)
+        del data["contexts"]
+        del data["config"]
+        with pytest.raises(ArtifactCorruptError) as excinfo:
+            profile_from_dict(data)
+        assert "contexts" in str(excinfo.value)
+        assert "config" in str(excinfo.value)
+
+    def test_non_dict_rejected(self):
+        with pytest.raises(ArtifactCorruptError, match="JSON object"):
+            profile_from_dict([1, 2, 3])
+
+    @pytest.mark.parametrize("order", ["1", -1, 1.5, None, True])
+    def test_bad_order_rejected(self, profile, order):
+        data = profile_to_dict(profile)
+        data["order"] = order
+        with pytest.raises(ArtifactCorruptError, match="order"):
+            profile_from_dict(data)
+
+    def test_order_zero_still_accepted(self, small_trace, config):
+        # Order 0 is a legal SFG (no control-flow history).
+        profile = profile_trace(small_trace, config, order=0)
+        clone = profile_from_dict(profile_to_dict(profile))
+        assert clone.order == 0
+
+    def test_bad_branch_mode_rejected(self, profile):
+        data = profile_to_dict(profile)
+        data["branch_mode"] = "psychic"
+        with pytest.raises(ArtifactCorruptError, match="branch_mode"):
+            profile_from_dict(data)
+
+    def test_history_length_mismatch_rejected(self, profile):
+        # Claiming order 2 over order-1 transition histories must fail
+        # up front, not corrupt the reconstructed graph.
+        data = profile_to_dict(profile)
+        data["order"] = 2
+        with pytest.raises(ArtifactCorruptError, match="history"):
+            profile_from_dict(data)
+
+    def test_malformed_context_payload_rejected(self, profile):
+        data = profile_to_dict(profile)
+        data["contexts"][0][1] = {"not": "a context"}
+        with pytest.raises(ArtifactCorruptError, match="malformed"):
             profile_from_dict(data)
