@@ -2,12 +2,14 @@
 """Design space exploration with statistical simulation (paper §4.6).
 
 Profiles a workload once, then sweeps a window/width design grid with
-the fast synthetic-trace simulator to compute the energy-delay product
-of every point.  The best candidates are re-checked with the detailed
-simulator — the paper's proposed use of statistical simulation: find
-the interesting region fast, confirm it slowly.
+the `repro.dse` subsystem: design points expand from a declarative
+sweep spec, every point is evaluated with the fast synthetic-trace
+simulator (in parallel with ``jobs > 1``, cached across runs with a
+``cache_dir``), and the best candidates are re-checked with the
+detailed simulator — the paper's proposed use of statistical
+simulation: find the interesting region fast, confirm it slowly.
 
-Run:  python examples/design_space_exploration.py [benchmark]
+Run:  python examples/design_space_exploration.py [benchmark] [jobs]
 """
 
 import sys
@@ -19,17 +21,30 @@ from repro import (
     energy_delay_product,
     profile_trace,
     run_execution_driven,
-    run_statistical_simulation,
+)
+from repro.dse import (
+    ResultCache,
+    SweepEngine,
+    SweepSpec,
+    pareto_front,
+    verification_shortlist,
 )
 from repro.frontend import run_program_with_warmup
 
-RUU_SIZES = (16, 32, 64, 128)
-LSQ_SIZES = (8, 16, 32)
-WIDTHS = (2, 4, 8)
+SPEC = SweepSpec(
+    name="example-window-width",
+    mode="grid",
+    parameters=(
+        ("lsq_size", (8, 16, 32)),
+        ("ruu_size", (16, 32, 64, 128)),
+        ("width", (2, 4, 8)),
+    ),
+)
 
 
 def main() -> None:
     name = sys.argv[1] if len(sys.argv) > 1 else "twolf"
+    jobs = int(sys.argv[2]) if len(sys.argv) > 2 else 1
     base = baseline_config()
 
     program = build_benchmark(name)
@@ -43,38 +58,39 @@ def main() -> None:
     print(f"{name}: profiled {len(trace):,} instructions "
           f"({profile.num_nodes} SFG nodes)")
 
-    grid = []
-    for ruu in RUU_SIZES:
-        for lsq in LSQ_SIZES:
-            if lsq > ruu:
-                continue
-            for width in WIDTHS:
-                grid.append(base.with_window(ruu, lsq).with_width(width))
-    print(f"exploring {len(grid)} design points with synthetic traces...")
+    points = SPEC.expand(base)
+    print(f"exploring {len(points)} design points with synthetic "
+          f"traces (jobs={jobs}, cached under ./dse-cache)...")
 
+    engine = SweepEngine(profile, jobs=jobs,
+                         cache=ResultCache("dse-cache"),
+                         experiment=SPEC.name, benchmark=name)
     started = time.perf_counter()
-    scored = []
-    for config in grid:
-        report = run_statistical_simulation(trace, config, profile=profile,
-                                            reduction_factor=8, seed=0)
-        scored.append((report.edp, config, report.ipc))
-    scored.sort(key=lambda item: item[0])
+    sweep = engine.evaluate(points, seeds=(0,), reduction_factor=8)
     elapsed = time.perf_counter() - started
-    print(f"swept in {elapsed:.1f}s "
-          f"({elapsed / len(grid):.2f}s per design point)\n")
+    print(f"swept in {elapsed:.1f}s ({sweep.evaluated} evaluated, "
+          f"{sweep.cached} served from cache)\n")
 
-    print("top designs by statistically-predicted EDP:")
-    print(f"{'ruu':>4} {'lsq':>4} {'width':>6} {'SS EDP':>9} "
-          f"{'SS IPC':>7} {'EDS EDP':>9}")
-    for edp, config, ipc in scored[:5]:
-        result, power = run_execution_driven(trace, config,
-                                             warmup_trace=warm)
-        eds_edp = energy_delay_product(power.total, result.ipc)
-        print(f"{config.ruu_size:>4} {config.lsq_size:>4} "
-              f"{config.issue_width:>6} {edp:>9.2f} {ipc:>7.3f} "
-              f"{eds_edp:>9.2f}")
+    front = {id(r) for r in pareto_front(sweep.results)}
+    shortlist = verification_shortlist(sweep.results, margin=0.03)
+    print("top designs by statistically-predicted EDP "
+          "(* = EDP/IPC Pareto-optimal):")
+    print(f"{'design point':>32} {'SS EDP':>9} {'SS IPC':>7} "
+          f"{'EDS EDP':>9}")
+    ranked = sorted(sweep.ok_results, key=lambda r: r.metrics["edp"])
+    for result in ranked[:5]:
+        eds = "-"
+        if result in shortlist:
+            sim, power = run_execution_driven(trace, result.point.config,
+                                              warmup_trace=warm)
+            eds = f"{energy_delay_product(power.total, sim.ipc):9.2f}"
+        star = "*" if id(result) in front else " "
+        print(f"{result.point.point_id:>32}{star} "
+              f"{result.metrics['edp']:>8.2f} "
+              f"{result.metrics['ipc']:>7.3f} {eds:>9}")
     print("\nThe detailed simulator confirms the region statistical "
-          "simulation identified.")
+          "simulation identified; re-run this script to see the cache "
+          "skip every point.")
 
 
 if __name__ == "__main__":

@@ -8,7 +8,9 @@ Commands mirror the paper's workflow:
 * ``profile`` — measure a statistical profile and save it to JSON;
 * ``synthesize`` — generate a synthetic trace from a saved profile and
   report its composition;
-* ``experiment`` — regenerate one of the paper's tables/figures.
+* ``experiment`` — regenerate one of the paper's tables/figures;
+* ``dse`` — run a parallel, cached design-space sweep (the section 4.6
+  protocol as a first-class subsystem; see ``docs/design_space.md``).
 """
 
 from __future__ import annotations
@@ -146,6 +148,60 @@ def _build_parser() -> argparse.ArgumentParser:
     experiment.add_argument(
         "--retries", type=_non_negative_int, default=2,
         help="retry budget for retryable failures (default: 2)")
+
+    dse = sub.add_parser(
+        "dse", help="parallel, cached design-space sweep "
+                    "(the section 4.6 protocol as a subsystem)")
+    dse.add_argument(
+        "--sweep", default=None, metavar="SPEC.json",
+        help="sweep specification file (see docs/design_space.md); "
+             "defaults to the reduced section 4.6 RUU/LSQ/width grid")
+    dse.add_argument("--benchmark", default="twolf",
+                     help="workload to profile and sweep (default: "
+                          "twolf)")
+    dse.add_argument("-j", "--jobs", type=_positive_int, default=1,
+                     help="worker processes for the sweep (default: 1 "
+                          "= serial in-process)")
+    dse.add_argument(
+        "--cache-dir", default=None,
+        help="content-addressed result cache: evaluations are stored "
+             "by (profile, config, seed) hash and re-used across "
+             "sweeps that share design points")
+    dse.add_argument(
+        "--resume", action="store_true",
+        help="continue an interrupted sweep from --cache-dir (cache "
+             "reuse is automatic whenever --cache-dir is given; this "
+             "flag only asserts a cache directory is present)")
+    dse.add_argument("--scale", default="quick",
+                     choices=("quick", "default"))
+    dse.add_argument(
+        "--seeds", default=None, metavar="N[,N...]",
+        help="synthesis seeds to average per design point (default: "
+             "the scale's seeds)")
+    dse.add_argument("-R", "--reduction-factor", type=_positive_float,
+                     default=None,
+                     help="synthetic trace reduction factor (default: "
+                          "the scale's)")
+    dse.add_argument("--verify-margin", type=_positive_float,
+                     default=0.03,
+                     help="EDS-verify every point within this margin "
+                          "of the SS optimum (default: 0.03, as the "
+                          "paper)")
+    dse.add_argument("--no-verify", action="store_true",
+                     help="skip the execution-driven verification "
+                          "pass")
+    dse.add_argument("--timeout", type=_positive_float, default=None,
+                     metavar="SECONDS",
+                     help="wall-clock budget per design-point "
+                          "evaluation")
+    dse.add_argument("--retries", type=_non_negative_int, default=2,
+                     help="retry budget per design-point evaluation "
+                          "(default: 2)")
+    dse.add_argument(
+        "--bench", default=None, metavar="BENCH_dse.json",
+        help="instead of one sweep, time serial vs --jobs parallel vs "
+             "warm-cache re-run and write the machine-readable "
+             "benchmark to this path")
 
     analyze = sub.add_parser(
         "analyze", help="analyze a saved profile's flow graph")
@@ -313,6 +369,84 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_dse(args: argparse.Namespace) -> int:
+    from dataclasses import replace
+
+    from repro.dse import SweepSpec, reduced_sec46_spec, run_dse_bench, \
+        run_study, write_bench
+    from repro.experiments.common import DEFAULT_SCALE, QUICK_SCALE
+    from repro.runner import RunnerPolicy
+    from repro.workloads.spec import benchmark_names
+
+    if args.benchmark not in benchmark_names():
+        print(f"error: unknown benchmark {args.benchmark!r}; run "
+              f"'repro benchmarks' for the suite", file=sys.stderr)
+        return 2
+    if args.resume and not args.cache_dir:
+        print("error: --resume requires --cache-dir (the cache is the "
+              "sweep's resume state)", file=sys.stderr)
+        return 2
+
+    spec = (SweepSpec.from_file(args.sweep) if args.sweep
+            else reduced_sec46_spec())
+    scale = QUICK_SCALE if args.scale == "quick" else DEFAULT_SCALE
+    if args.reduction_factor is not None:
+        scale = replace(scale, reduction_factor=args.reduction_factor)
+    seeds = None
+    if args.seeds:
+        try:
+            seeds = tuple(int(part) for part in args.seeds.split(",")
+                          if part.strip())
+        except ValueError:
+            print(f"error: --seeds must be comma-separated integers, "
+                  f"got {args.seeds!r}", file=sys.stderr)
+            return 2
+        if not seeds:
+            print("error: --seeds must name at least one seed",
+                  file=sys.stderr)
+            return 2
+    log = (lambda message: print(message, file=sys.stderr))
+
+    if args.bench:
+        payload = run_dse_bench(spec, args.benchmark, scale,
+                                jobs=args.jobs,
+                                cache_root=args.cache_dir,
+                                seeds=seeds, log=log)
+        write_bench(payload, args.bench)
+        print(f"{payload['grid_points']} points x "
+              f"{len(payload['seeds'])} seeds on {payload['benchmark']}: "
+              f"serial {payload['serial_seconds']:.2f}s, "
+              f"jobs={payload['jobs']} "
+              f"{payload['parallel_seconds']:.2f}s "
+              f"({payload['parallel_speedup']:.2f}x), metrics identical: "
+              f"{payload['metrics_identical']}")
+        print(f"warm-cache re-run: {payload['warm_rerun_seconds']:.2f}s, "
+              f"skipped {payload['warm_rerun_skipped']} of "
+              f"{payload['evaluations']} evaluations "
+              f"({payload['warm_rerun_skipped_fraction'] * 100:.0f}%)")
+        print(f"benchmark written to {args.bench}")
+        return 0
+
+    study = run_study(
+        spec, args.benchmark, scale, jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        policy=RunnerPolicy(timeout=args.timeout,
+                            max_retries=args.retries),
+        verify=not args.no_verify, verify_margin=args.verify_margin,
+        seeds=seeds, log=log)
+    print(study.render(margin=args.verify_margin))
+    row = study.to_row()
+    if not args.no_verify and row["ss_optimal"] is not None:
+        verdict = ("is the verified optimum" if row["found_optimal"]
+                   else f"is {row['edp_gap'] * 100:.2f}% above the "
+                        f"verified optimum "
+                        f"{row['eds_optimal_in_region']}")
+        print(f"\nSS optimum {row['ss_optimal']} {verdict} "
+              f"({row['candidates_verified']} candidate(s) re-checked "
+              f"execution-driven)")
+    return 0
+
+
 def _cmd_analyze(args: argparse.Namespace) -> int:
     from repro.core.analysis import (hottest_contexts,
                                      reduced_connectivity,
@@ -425,6 +559,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_synthesize(args)
         if args.command == "experiment":
             return _cmd_experiment(args)
+        if args.command == "dse":
+            return _cmd_dse(args)
         if args.command == "analyze":
             return _cmd_analyze(args)
         if args.command == "validate":

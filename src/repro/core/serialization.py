@@ -38,11 +38,19 @@ REQUIRED_KEYS = (
 )
 
 
-def _config_to_dict(config: MachineConfig) -> Dict:
+def config_to_dict(config: MachineConfig) -> Dict:
+    """Serialize a machine configuration to a JSON-compatible dict.
+
+    The canonical encoding of this dict is also what the design-space
+    subsystem (:mod:`repro.dse`) hashes to content-address results, so
+    the field set must round-trip exactly through
+    :func:`config_from_dict`.
+    """
     return asdict(config)
 
 
-def _config_from_dict(data: Dict) -> MachineConfig:
+def config_from_dict(data: Dict) -> MachineConfig:
+    """Inverse of :func:`config_to_dict`."""
     data = dict(data)
     for key, cls in (("il1", CacheConfig), ("dl1", CacheConfig),
                      ("l2", CacheConfig), ("itlb", TLBConfig),
@@ -50,6 +58,11 @@ def _config_from_dict(data: Dict) -> MachineConfig:
                      ("predictor", BranchPredictorConfig)):
         data[key] = cls(**data[key])
     return MachineConfig(**data)
+
+
+# Former private names, kept as aliases for existing internal callers.
+_config_to_dict = config_to_dict
+_config_from_dict = config_from_dict
 
 
 def _histogram_to_list(histogram: Dict[int, int]) -> List[List[int]]:

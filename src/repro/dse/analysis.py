@@ -1,0 +1,121 @@
+"""Analysis layer over sweep results: Pareto fronts, the section 4.6
+verification shortlist, and a rendered sweep report.
+
+The paper's protocol (section 4.6): rank every design point by its
+statistically-simulated energy-delay product, then re-evaluate the
+points within a small margin of the SS optimum with execution-driven
+simulation — fast exploration of the whole space, slow confirmation of
+the interesting region only.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.dse.engine import PointResult, SweepResult
+
+#: The paper verifies the 3% range around the SS optimum.
+DEFAULT_VERIFY_MARGIN = 0.03
+
+
+def ranked_by_edp(results: Sequence[PointResult]) -> List[PointResult]:
+    """Successful points, cheapest energy-delay product first."""
+    ok = [r for r in results if r.ok]
+    return sorted(ok, key=lambda r: r.metrics["edp"])
+
+
+def best_point(results: Sequence[PointResult]) -> PointResult:
+    ranked = ranked_by_edp(results)
+    if not ranked:
+        raise ValueError("no successful design points to rank")
+    return ranked[0]
+
+
+def pareto_front(results: Sequence[PointResult],
+                 minimize: str = "edp",
+                 maximize: str = "ipc") -> List[PointResult]:
+    """Non-dominated points: no other point is at least as good on both
+    objectives and strictly better on one (lower *minimize*, higher
+    *maximize*).  Sorted by the minimized metric."""
+    ok = [r for r in results if r.ok]
+    front: List[PointResult] = []
+    for candidate in ok:
+        c_min = candidate.metrics[minimize]
+        c_max = candidate.metrics[maximize]
+        dominated = any(
+            other is not candidate
+            and other.metrics[minimize] <= c_min
+            and other.metrics[maximize] >= c_max
+            and (other.metrics[minimize] < c_min
+                 or other.metrics[maximize] > c_max)
+            for other in ok)
+        if not dominated:
+            front.append(candidate)
+    return sorted(front, key=lambda r: r.metrics[minimize])
+
+
+def verification_shortlist(results: Sequence[PointResult],
+                           margin: float = DEFAULT_VERIFY_MARGIN
+                           ) -> List[PointResult]:
+    """Points whose SS EDP is within *margin* of the SS optimum — the
+    candidates worth the execution-driven re-check."""
+    ranked = ranked_by_edp(results)
+    if not ranked:
+        return []
+    cutoff = ranked[0].metrics["edp"] * (1.0 + margin)
+    return [r for r in ranked if r.metrics["edp"] <= cutoff]
+
+
+def render_sweep_report(sweep_name: str, sweep: SweepResult,
+                        margin: float = DEFAULT_VERIFY_MARGIN,
+                        top: int = 10,
+                        eds_edp: Optional[Dict[str, float]] = None
+                        ) -> str:
+    """Human-readable sweep summary.
+
+    *eds_edp* optionally maps a shortlisted point's ``point_id`` to its
+    execution-driven EDP (filled in by the section 4.6 protocol)."""
+    from repro.experiments.common import format_table
+
+    ranked = ranked_by_edp(sweep.results)
+    front = {id(r) for r in pareto_front(sweep.results)}
+    shortlist = {id(r) for r in verification_shortlist(sweep.results,
+                                                       margin)}
+    rows = []
+    for result in ranked[:top]:
+        marks = ("P" if id(result) in front else "") + \
+                ("V" if id(result) in shortlist else "")
+        eds = (f"{eds_edp[result.point.point_id]:.2f}"
+               if eds_edp and result.point.point_id in eds_edp else "-")
+        rows.append((result.point.point_id,
+                     f"{result.metrics['edp']:.2f}",
+                     f"{result.metrics['ipc']:.3f}",
+                     f"{result.metrics['epc']:.1f}",
+                     eds, marks or "-"))
+    table = format_table(
+        ["design point", "SS EDP", "SS IPC", "SS EPC", "EDS EDP",
+         "flags"], rows)
+    lines = [f"sweep {sweep_name!r}: {sweep.summary()}",
+             f"seeds {list(sweep.seeds)}, "
+             f"R = {sweep.reduction_factor:g}; top {min(top, len(ranked))} "
+             f"of {len(ranked)} points "
+             f"(P = Pareto EDP/IPC, V = within {margin * 100:g}% "
+             f"verification margin)",
+             "", table]
+    failed = [r for r in sweep.results if not r.ok]
+    if failed:
+        lines.append("")
+        for result in failed:
+            detail = result.errors[0] if result.errors else {}
+            lines.append(
+                f"WARNING: {result.point.point_id} failed "
+                f"({detail.get('type', 'Error')}: "
+                f"{detail.get('message', 'unknown error')})")
+    if sweep.cache_stats is not None:
+        stats = sweep.cache_stats
+        lines.append("")
+        lines.append(
+            f"cache: {stats['hits']} hits / {stats['misses']} misses "
+            f"({stats['hit_rate'] * 100:.0f}% hit rate, "
+            f"{stats['corrupt_discarded']} corrupt discarded)")
+    return "\n".join(lines)

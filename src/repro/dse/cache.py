@@ -1,0 +1,132 @@
+"""Content-addressed result cache for design-space evaluations.
+
+One statistical-simulation evaluation is fully determined by the
+profile content, the machine configuration, the synthesis seed and the
+reduction factor — so its metrics are cached under
+``sha256(profile_hash, config_hash, seed, reduction_factor)``.
+Re-running a sweep, extending a grid, or running a second sweep that
+overlaps the first all skip the already-evaluated points, whatever
+order or process produced them.
+
+Layout::
+
+    <cache_dir>/
+        objects/<key[:2]>/<key>.json    # one evaluation result each
+
+Entries are written atomically with an embedded SHA-256 checksum
+(reusing :mod:`repro.runner.checkpoint`'s scheme), so a killed sweep
+can never leave a half-written entry: a truncated or bit-flipped file
+raises :class:`~repro.errors.ArtifactCorruptError` at read time, is
+discarded, and the point is simply re-evaluated.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from repro.errors import ArtifactCorruptError
+from repro.runner.checkpoint import read_json_checked, write_json_atomic
+from repro.runner.faults import FaultPlan
+from repro.dse.space import canonical_json
+
+#: Bump when the cached payload schema changes; part of the key, so a
+#: schema change is an automatic cold cache rather than a misread.
+CACHE_FORMAT = 1
+
+
+def result_key(profile_hash: str, config_hash: str, seed: int,
+               reduction_factor: float) -> str:
+    """The content address of one evaluation."""
+    payload = {
+        "format": CACHE_FORMAT,
+        "profile": profile_hash,
+        "config": config_hash,
+        "seed": seed,
+        "reduction_factor": reduction_factor,
+    }
+    return hashlib.sha256(
+        canonical_json(payload).encode("utf-8")).hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting for one sweep."""
+
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+    corrupt_discarded: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "writes": self.writes,
+            "corrupt_discarded": self.corrupt_discarded,
+            "hit_rate": self.hit_rate,
+        }
+
+
+@dataclass
+class ResultCache:
+    """Content-addressed store of evaluation metrics on disk."""
+
+    cache_dir: Union[str, Path]
+    fault_plan: Optional[FaultPlan] = None
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self) -> None:
+        self.cache_dir = Path(self.cache_dir)
+        (self.cache_dir / "objects").mkdir(parents=True, exist_ok=True)
+
+    def _path(self, key: str) -> Path:
+        return self.cache_dir / "objects" / key[:2] / (key + ".json")
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """The cached entry for *key*, or None on a miss.
+
+        A corrupt entry (checksum mismatch, truncation) is deleted and
+        reported as a miss — the caller re-evaluates and overwrites it.
+        """
+        path = self._path(key)
+        if not path.exists():
+            self.stats.misses += 1
+            return None
+        try:
+            payload = read_json_checked(path)
+        except ArtifactCorruptError:
+            path.unlink(missing_ok=True)
+            self.stats.corrupt_discarded += 1
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return payload
+
+    def put(self, key: str, metrics: Dict[str, float],
+            meta: Optional[Dict[str, Any]] = None) -> Path:
+        """Store one evaluation's *metrics* (plus provenance *meta*)."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload: Dict[str, Any] = {"metrics": dict(metrics)}
+        if meta:
+            payload["meta"] = dict(meta)
+        write_json_atomic(path, payload)
+        self.stats.writes += 1
+        if self.fault_plan is not None:
+            self.fault_plan.maybe_corrupt_artifact(path)
+        return path
+
+    def __len__(self) -> int:
+        return sum(1 for _ in (self.cache_dir / "objects").glob(
+            "*/*.json"))

@@ -1,0 +1,416 @@
+"""Parallel design-point evaluation engine.
+
+The paper's economics (Figure 1) hinge on evaluating *many* design
+points per statistical profile.  Every point is an independent
+synthetic-trace simulation, so the sweep is embarrassingly parallel:
+this engine fans (point, seed) evaluations out over a
+``ProcessPoolExecutor`` with chunked dispatch, while keeping the
+fault-tolerance semantics of :class:`~repro.runner.TaskRunner` —
+per-evaluation wall-clock timeouts, bounded retry with backoff, fault
+injection, and exception containment — applied **per design point**
+rather than per benchmark.
+
+Determinism: each evaluation's synthesis seed is derived from a stable
+hash of (experiment, benchmark, config hash, base seed), never from
+inherited process RNG state, so a serial sweep, an ``--jobs N`` sweep
+and a resumed sweep all produce bit-identical metrics.
+
+With a :class:`~repro.dse.cache.ResultCache` attached, already-known
+(profile, config, seed) evaluations are served from disk and fresh ones
+are written back — the cache *is* the sweep's checkpoint/resume
+mechanism.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.config import MachineConfig
+from repro.errors import is_retryable
+from repro.runner import RunnerPolicy, TaskRunner, WorkUnit
+from repro.runner.faults import FaultPlan
+from repro.runner.runner import call_with_timeout
+from repro.dse.cache import ResultCache, result_key
+from repro.dse.space import DesignPoint, profile_content_hash
+
+#: Sentinel: "no explicit plan given, consult the environment".
+_ENV_PLAN = object()
+
+
+def derive_point_seed(experiment: str, benchmark: Optional[str],
+                      config_hash: str, seed: int) -> int:
+    """Deterministic per-evaluation synthesis seed.
+
+    A stable hash of the evaluation's identity — not parent RNG state —
+    so worker processes, serial loops and resumed runs all synthesize
+    the same trace for the same design point.
+    """
+    text = "\x00".join([experiment, benchmark or "", config_hash,
+                        str(seed)])
+    digest = hashlib.sha256(text.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") & 0x7FFF_FFFF_FFFF_FFFF
+
+
+def evaluate_metrics(profile, config: MachineConfig, seed: int,
+                     reduction_factor: float) -> Dict[str, float]:
+    """One design-point evaluation: synthesize with *seed*, simulate,
+    return the paper's metrics.  This single function feeds the serial
+    path, the worker processes and the speedup experiment, so all of
+    them are numerically identical by construction."""
+    from repro.core.framework import simulate_synthetic_trace
+    from repro.core.synthesis import generate_synthetic_trace
+    from repro.power.wattch import energy_delay_product
+
+    synthetic = generate_synthetic_trace(profile, reduction_factor,
+                                         seed=seed)
+    result, power = simulate_synthetic_trace(synthetic, config)
+    return {
+        "ipc": result.ipc,
+        "epc": power.total,
+        "edp": energy_delay_product(power.total, result.ipc),
+        "synthetic_instructions": len(synthetic),
+    }
+
+
+# -- worker-process machinery -----------------------------------------
+#
+# Module-level so the pool can pickle them; the profile is shipped once
+# per worker (as its serialized dict) via the initializer instead of
+# once per task.
+
+_WORKER_PROFILE = None
+_WORKER_FAULT_PLAN: Optional[FaultPlan] = None
+
+
+def _worker_init(profile_payload: Dict) -> None:
+    global _WORKER_PROFILE, _WORKER_FAULT_PLAN
+    from repro.core.serialization import profile_from_dict
+
+    _WORKER_PROFILE = profile_from_dict(profile_payload)
+    _WORKER_FAULT_PLAN = FaultPlan.from_env()
+
+
+def _run_task(task: Dict[str, Any], profile, policy: RunnerPolicy,
+              fault_plan: Optional[FaultPlan]) -> Dict[str, Any]:
+    """Execute one (point, seed) evaluation with TaskRunner semantics:
+    fault injection per attempt, wall-clock timeout, bounded retry with
+    backoff, and containment of any exception into a structured
+    failure record."""
+    from repro.core.serialization import config_from_dict
+
+    config = config_from_dict(task["config"])
+    attempt = 0
+    started = time.perf_counter()
+    while True:
+        attempt += 1
+        try:
+            if fault_plan is not None:
+                fault_plan.inject(task["task_id"], task.get("benchmark"),
+                                  attempt)
+            metrics = call_with_timeout(
+                lambda: evaluate_metrics(profile, config,
+                                         task["derived_seed"],
+                                         task["reduction_factor"]),
+                policy.timeout, task["task_id"])
+        except Exception as exc:  # noqa: BLE001 — containment
+            if is_retryable(exc) and attempt <= policy.max_retries:
+                delay = policy.backoff(attempt)
+                if delay > 0:
+                    time.sleep(delay)
+                continue
+            return {
+                "task": task, "status": "failed", "metrics": None,
+                "attempts": attempt,
+                "elapsed": time.perf_counter() - started,
+                "error": {"type": type(exc).__name__,
+                          "message": str(exc)},
+            }
+        return {
+            "task": task, "status": "ok", "metrics": metrics,
+            "attempts": attempt,
+            "elapsed": time.perf_counter() - started,
+            "error": None,
+        }
+
+
+def _evaluate_chunk(chunk: List[Dict[str, Any]],
+                    policy: RunnerPolicy) -> List[Dict[str, Any]]:
+    """Worker entry point: evaluate a chunk of tasks against the
+    profile installed by :func:`_worker_init`."""
+    return [_run_task(task, _WORKER_PROFILE, policy, _WORKER_FAULT_PLAN)
+            for task in chunk]
+
+
+# -- results -----------------------------------------------------------
+
+
+@dataclass
+class PointResult:
+    """Aggregated outcome of one design point across synthesis seeds."""
+
+    point: DesignPoint
+    per_seed: Dict[int, Dict[str, float]] = field(default_factory=dict)
+    cached_seeds: int = 0
+    evaluated_seeds: int = 0
+    failed_seeds: int = 0
+    errors: List[Dict[str, Any]] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.failed_seeds == 0 and bool(self.per_seed)
+
+    @property
+    def metrics(self) -> Dict[str, float]:
+        """Mean metrics over seeds (empty when every seed failed)."""
+        if not self.per_seed:
+            return {}
+        keys = next(iter(self.per_seed.values())).keys()
+        n = len(self.per_seed)
+        return {key: sum(m[key] for m in self.per_seed.values()) / n
+                for key in keys}
+
+    def to_row(self) -> Dict[str, Any]:
+        row: Dict[str, Any] = {"point": self.point.point_id,
+                               "config_hash": self.point.config_hash,
+                               "ok": self.ok,
+                               "cached_seeds": self.cached_seeds,
+                               "evaluated_seeds": self.evaluated_seeds}
+        row.update(self.point.params_dict())
+        row.update(self.metrics)
+        return row
+
+
+@dataclass
+class SweepResult:
+    """Everything one engine invocation produced."""
+
+    results: List[PointResult]
+    elapsed: float
+    jobs: int
+    seeds: Tuple[int, ...]
+    reduction_factor: float
+    evaluated: int = 0
+    cached: int = 0
+    failed: int = 0
+    cache_stats: Optional[Dict[str, Any]] = None
+
+    @property
+    def ok_results(self) -> List[PointResult]:
+        return [r for r in self.results if r.ok]
+
+    @property
+    def total_tasks(self) -> int:
+        return self.evaluated + self.cached + self.failed
+
+    def summary(self) -> str:
+        parts = [f"{len(self.results)} points", f"jobs={self.jobs}",
+                 f"{self.evaluated} evaluated / {self.cached} cached / "
+                 f"{self.failed} failed evaluations",
+                 f"{self.elapsed:.2f}s"]
+        return ", ".join(parts)
+
+
+# -- the engine --------------------------------------------------------
+
+
+class SweepEngine:
+    """Evaluates design points against one statistical profile.
+
+    ``jobs=1`` routes every (point, seed) evaluation through a
+    :class:`~repro.runner.TaskRunner` in-process; ``jobs>1`` dispatches
+    chunks to a process pool whose workers apply the same policy
+    (timeout, retries, fault injection) per evaluation.  Both paths
+    call the same :func:`evaluate_metrics` with the same derived seeds,
+    so their metrics are identical.
+    """
+
+    def __init__(
+        self,
+        profile,
+        jobs: int = 1,
+        cache: Optional[ResultCache] = None,
+        policy: Optional[RunnerPolicy] = None,
+        fault_plan: Any = _ENV_PLAN,
+        experiment: str = "dse",
+        benchmark: Optional[str] = None,
+        log=None,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.profile = profile
+        self.jobs = jobs
+        self.cache = cache
+        self.policy = policy or RunnerPolicy()
+        if fault_plan is _ENV_PLAN:
+            fault_plan = FaultPlan.from_env()
+        self.fault_plan: Optional[FaultPlan] = fault_plan
+        self.experiment = experiment
+        self.benchmark = benchmark
+        self.log = log or (lambda message: None)
+        self.profile_hash = profile_content_hash(profile)
+
+    # -- task construction ---------------------------------------------
+
+    def _task(self, index: int, point: DesignPoint, seed: int,
+              reduction_factor: float) -> Dict[str, Any]:
+        from repro.core.serialization import config_to_dict
+
+        return {
+            "task_id": (f"{self.experiment}/"
+                        f"{self.benchmark or 'profile'}/"
+                        f"{point.point_id}/seed{seed}"),
+            "point_index": index,
+            "benchmark": self.benchmark,
+            "config": config_to_dict(point.config),
+            "base_seed": seed,
+            "derived_seed": derive_point_seed(
+                self.experiment, self.benchmark, point.config_hash,
+                seed),
+            "reduction_factor": reduction_factor,
+            "key": result_key(self.profile_hash, point.config_hash,
+                              seed, reduction_factor),
+        }
+
+    # -- execution paths -----------------------------------------------
+
+    def _run_serial(self, tasks: List[Dict[str, Any]]
+                    ) -> List[Dict[str, Any]]:
+        """In-process path: one TaskRunner work unit per evaluation, so
+        timeouts/retry/fault-injection apply per design point."""
+        runner = TaskRunner(policy=self.policy,
+                            fault_plan=self.fault_plan,
+                            raise_on_total_failure=False,
+                            log=self.log)
+        units = [WorkUnit(experiment=self.experiment,
+                          benchmark=self.benchmark,
+                          seed=task["base_seed"],
+                          params=(("point", task["point_index"]),))
+                 for task in tasks]
+        task_by_unit = dict(zip(units, tasks))
+
+        def fn(unit: WorkUnit) -> Dict[str, Any]:
+            from repro.core.serialization import config_from_dict
+
+            task = task_by_unit[unit]
+            return evaluate_metrics(
+                self.profile, config_from_dict(task["config"]),
+                task["derived_seed"], task["reduction_factor"])
+
+        report = runner.run(units, fn)
+        outcomes = []
+        for task, unit_outcome in zip(tasks, report.outcomes):
+            outcomes.append({
+                "task": task,
+                "status": ("ok" if unit_outcome.status != "failed"
+                           else "failed"),
+                "metrics": unit_outcome.result,
+                "attempts": unit_outcome.attempts,
+                "elapsed": unit_outcome.elapsed,
+                "error": unit_outcome.error,
+            })
+        return outcomes
+
+    def _run_parallel(self, tasks: List[Dict[str, Any]]
+                      ) -> List[Dict[str, Any]]:
+        from repro.core.serialization import profile_to_dict
+
+        chunk_size = max(1, -(-len(tasks) // (self.jobs * 4)))
+        chunks = [tasks[i:i + chunk_size]
+                  for i in range(0, len(tasks), chunk_size)]
+        self.log(f"dispatching {len(tasks)} evaluations in "
+                 f"{len(chunks)} chunks to {self.jobs} workers")
+        payload = profile_to_dict(self.profile)
+        outcomes: List[Dict[str, Any]] = []
+        with ProcessPoolExecutor(max_workers=self.jobs,
+                                 initializer=_worker_init,
+                                 initargs=(payload,)) as pool:
+            futures = [pool.submit(_evaluate_chunk, chunk, self.policy)
+                       for chunk in chunks]
+            for future in futures:
+                outcomes.extend(future.result())
+        return outcomes
+
+    # -- public API ----------------------------------------------------
+
+    def evaluate(self, points: Sequence[DesignPoint],
+                 seeds: Sequence[int] = (0,),
+                 reduction_factor: float = 6.0) -> SweepResult:
+        """Evaluate every point under every seed; aggregate per point.
+
+        Cache hits are resolved up front in the parent process; only
+        misses are dispatched.  Fresh results (but never failures) are
+        written back to the cache.
+        """
+        started = time.perf_counter()
+        results = [PointResult(point=point) for point in points]
+
+        pending: List[Dict[str, Any]] = []
+        cached = 0
+        for index, point in enumerate(points):
+            for seed in seeds:
+                task = self._task(index, point, seed, reduction_factor)
+                entry = self.cache.get(task["key"]) \
+                    if self.cache is not None else None
+                if entry is not None and isinstance(
+                        entry.get("metrics"), dict):
+                    result = results[index]
+                    result.per_seed[seed] = entry["metrics"]
+                    result.cached_seeds += 1
+                    cached += 1
+                else:
+                    pending.append(task)
+
+        if pending:
+            if self.jobs > 1:
+                outcomes = self._run_parallel(pending)
+            else:
+                outcomes = self._run_serial(pending)
+        else:
+            outcomes = []
+
+        evaluated = failed = 0
+        for outcome in outcomes:
+            task = outcome["task"]
+            result = results[task["point_index"]]
+            if outcome["status"] == "ok":
+                evaluated += 1
+                result.per_seed[task["base_seed"]] = outcome["metrics"]
+                result.evaluated_seeds += 1
+                if self.cache is not None:
+                    self.cache.put(task["key"], outcome["metrics"],
+                                   meta={
+                                       "task_id": task["task_id"],
+                                       "base_seed": task["base_seed"],
+                                       "derived_seed":
+                                           task["derived_seed"],
+                                       "reduction_factor":
+                                           task["reduction_factor"],
+                                       "profile": self.profile_hash,
+                                   })
+            else:
+                failed += 1
+                result.failed_seeds += 1
+                result.errors.append(
+                    {"task_id": task["task_id"], **(outcome["error"]
+                                                    or {})})
+                self.log(f"{task['task_id']}: failed after "
+                         f"{outcome['attempts']} attempt(s): "
+                         f"{(outcome['error'] or {}).get('type')}: "
+                         f"{(outcome['error'] or {}).get('message')}")
+
+        return SweepResult(
+            results=results,
+            elapsed=time.perf_counter() - started,
+            jobs=self.jobs,
+            seeds=tuple(seeds),
+            reduction_factor=reduction_factor,
+            evaluated=evaluated,
+            cached=cached,
+            failed=failed,
+            cache_stats=(self.cache.stats.to_payload()
+                         if self.cache is not None else None),
+        )

@@ -1,0 +1,296 @@
+"""Design-point model: declarative sweep specifications.
+
+A design-space study (paper section 4.6) is a set of machine
+configurations derived from a base :class:`~repro.config.MachineConfig`
+by varying a few fields.  A :class:`SweepSpec` describes that set
+declaratively — as a full grid, an explicit point list, or a random
+sample — and expands to :class:`DesignPoint`\\ s, each carrying a
+stable content hash of its full configuration.  The hash is what the
+result cache (:mod:`repro.dse.cache`) keys on, so two sweeps that
+overlap in configuration space share cached evaluations even when their
+specs differ.
+
+Only *profile-invariant* fields are sweepable: the whole economy of the
+methodology is that one statistical profile serves every design point,
+which holds for the window, widths, functional units and pipeline
+latencies but **not** for caches, the branch predictor or the IFQ
+(section 4.4 — those change the profile itself and need re-profiling).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+from dataclasses import dataclass, field, fields, replace
+from itertools import product
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.config import MachineConfig
+from repro.errors import SweepSpecError
+
+#: MachineConfig fields that do not change the statistical profile and
+#: may therefore be swept against a single profile.
+SWEEPABLE_FIELDS = frozenset({
+    "ruu_size", "lsq_size",
+    "decode_width", "issue_width", "commit_width",
+    "int_alus", "load_store_units", "fp_adders",
+    "int_mult_divs", "fp_mult_divs",
+    "in_order_issue", "enforce_anti_dependencies", "conservative_loads",
+    "branch_misprediction_penalty", "fetch_redirect_penalty",
+    "memory_latency",
+})
+
+#: Virtual field: sets decode, issue and commit width together (the
+#: paper's width sweep).
+WIDTH_ALIAS = "width"
+
+MODES = ("grid", "list", "random")
+
+
+def canonical_json(payload: Any) -> str:
+    """The canonical encoding every dse hash is computed over."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def config_hash(config: MachineConfig) -> str:
+    """Stable content hash of a full machine configuration."""
+    from repro.core.serialization import config_to_dict
+
+    return hashlib.sha256(
+        canonical_json(config_to_dict(config)).encode("utf-8")
+    ).hexdigest()
+
+
+def profile_content_hash(profile) -> str:
+    """Stable content hash of a statistical profile's full payload
+    (flow graph, contexts, measurement config)."""
+    from repro.core.serialization import profile_to_dict
+
+    return hashlib.sha256(
+        canonical_json(profile_to_dict(profile)).encode("utf-8")
+    ).hexdigest()
+
+
+def apply_overrides(base: MachineConfig,
+                    overrides: Dict[str, Any]) -> MachineConfig:
+    """Return *base* with the sweep *overrides* applied.
+
+    Raises :class:`SweepSpecError` for unknown or unsweepable fields
+    and :class:`ValueError` for combinations MachineConfig itself
+    rejects (e.g. an LSQ larger than the RUU).
+    """
+    config = base
+    plain: Dict[str, Any] = {}
+    for name, value in overrides.items():
+        if name == WIDTH_ALIAS:
+            config = config.with_width(int(value))
+        elif name in SWEEPABLE_FIELDS:
+            plain[name] = value
+        else:
+            raise SweepSpecError(
+                f"field {name!r} is not sweepable against one profile "
+                f"(sweepable: {WIDTH_ALIAS}, "
+                f"{', '.join(sorted(SWEEPABLE_FIELDS))})")
+    if plain:
+        config = replace(config, **plain)
+    return config
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One configuration of the design space under study."""
+
+    config: MachineConfig
+    params: Tuple[Tuple[str, Any], ...] = ()
+    _hash_cache: Dict[str, str] = field(default_factory=dict, repr=False,
+                                        compare=False, hash=False)
+
+    @property
+    def point_id(self) -> str:
+        """Human-readable label built from the swept parameters."""
+        if not self.params:
+            return "base"
+        return ",".join(f"{k}={v}" for k, v in self.params)
+
+    @property
+    def config_hash(self) -> str:
+        if "config" not in self._hash_cache:
+            self._hash_cache["config"] = config_hash(self.config)
+        return self._hash_cache["config"]
+
+    def params_dict(self) -> Dict[str, Any]:
+        return dict(self.params)
+
+
+def _sorted_params(overrides: Dict[str, Any]) -> Tuple[Tuple[str, Any], ...]:
+    return tuple(sorted(overrides.items()))
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """Declarative description of a design-space sweep.
+
+    ``mode`` selects how ``parameters``/``points`` expand:
+
+    * ``grid`` — full cross product of every ``parameters`` value list;
+    * ``list`` — exactly the override dicts in ``points``;
+    * ``random`` — ``samples`` distinct points drawn uniformly (with a
+      deterministic ``seed``) from the grid that ``parameters`` spans.
+
+    ``base`` holds overrides applied to the baseline configuration
+    before the sweep parameters (e.g. pin ``memory_latency`` for the
+    whole study).  Combinations the configuration model rejects (LSQ
+    larger than the RUU) are silently skipped, as in the paper's
+    constrained grid.
+    """
+
+    name: str = "sweep"
+    mode: str = "grid"
+    parameters: Tuple[Tuple[str, Tuple[Any, ...]], ...] = ()
+    points: Tuple[Tuple[Tuple[str, Any], ...], ...] = ()
+    samples: int = 0
+    seed: int = 0
+    base: Tuple[Tuple[str, Any], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.mode not in MODES:
+            raise SweepSpecError(
+                f"unknown sweep mode {self.mode!r}; expected one of "
+                f"{', '.join(MODES)}")
+        if self.mode == "random" and self.samples < 1:
+            raise SweepSpecError(
+                "random sweeps require a positive 'samples' count")
+        if self.mode in ("grid", "random") and not self.parameters:
+            raise SweepSpecError(
+                f"{self.mode} sweeps require a non-empty 'parameters' "
+                f"mapping")
+        if self.mode == "list" and not self.points:
+            raise SweepSpecError("list sweeps require a 'points' array")
+
+    # -- construction --------------------------------------------------
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "SweepSpec":
+        if not isinstance(data, dict):
+            raise SweepSpecError(
+                f"sweep spec must be a JSON object, got "
+                f"{type(data).__name__}")
+        unknown = set(data) - {"name", "mode", "parameters", "points",
+                               "samples", "seed", "base"}
+        if unknown:
+            raise SweepSpecError(
+                f"sweep spec has unknown keys: {', '.join(sorted(unknown))}")
+        parameters = data.get("parameters", {})
+        if not isinstance(parameters, dict) or not all(
+                isinstance(values, (list, tuple)) and values
+                for values in parameters.values()):
+            raise SweepSpecError(
+                "'parameters' must map field names to non-empty value "
+                "lists")
+        points = data.get("points", [])
+        if not isinstance(points, list) or not all(
+                isinstance(point, dict) for point in points):
+            raise SweepSpecError("'points' must be a list of objects")
+        return cls(
+            name=str(data.get("name", "sweep")),
+            mode=str(data.get("mode", "grid")),
+            parameters=tuple(sorted(
+                (name, tuple(values))
+                for name, values in parameters.items())),
+            points=tuple(_sorted_params(point) for point in points),
+            samples=int(data.get("samples", 0)),
+            seed=int(data.get("seed", 0)),
+            base=_sorted_params(data.get("base", {})),
+        )
+
+    @classmethod
+    def from_file(cls, path: Union[str, Path]) -> "SweepSpec":
+        path = Path(path)
+        try:
+            text = path.read_text()
+        except OSError as exc:
+            raise SweepSpecError(
+                f"cannot read sweep spec {path}: {exc}") from exc
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise SweepSpecError(
+                f"sweep spec {path} is not valid JSON: {exc}") from exc
+        return cls.from_dict(data)
+
+    def to_dict(self) -> Dict:
+        return {
+            "name": self.name,
+            "mode": self.mode,
+            "parameters": {name: list(values)
+                           for name, values in self.parameters},
+            "points": [dict(point) for point in self.points],
+            "samples": self.samples,
+            "seed": self.seed,
+            "base": dict(self.base),
+        }
+
+    # -- expansion -----------------------------------------------------
+
+    def _candidate_overrides(self) -> List[Dict[str, Any]]:
+        if self.mode == "list":
+            return [dict(point) for point in self.points]
+        names = [name for name, _ in self.parameters]
+        grids = [values for _, values in self.parameters]
+        combos = [dict(zip(names, combo)) for combo in product(*grids)]
+        if self.mode == "grid":
+            return combos
+        rng = random.Random(self.seed)
+        if self.samples >= len(combos):
+            return combos
+        return rng.sample(combos, self.samples)
+
+    def expand(self, base: Optional[MachineConfig] = None
+               ) -> List[DesignPoint]:
+        """Materialize the spec into concrete design points.
+
+        Raises :class:`SweepSpecError` when every candidate violates
+        the configuration model (an empty sweep is always a spec bug).
+        """
+        if base is None:
+            from repro.config import baseline_config
+
+            base = baseline_config()
+        base = apply_overrides(base, dict(self.base))
+        points: List[DesignPoint] = []
+        seen: set = set()
+        for overrides in self._candidate_overrides():
+            try:
+                config = apply_overrides(base, overrides)
+            except ValueError as exc:
+                if isinstance(exc, SweepSpecError):
+                    raise
+                continue  # constraint-violating combo: skip, as paper
+            params = _sorted_params(overrides)
+            if params in seen:
+                continue
+            seen.add(params)
+            points.append(DesignPoint(config=config, params=params))
+        if not points:
+            raise SweepSpecError(
+                f"sweep {self.name!r} expands to zero valid design "
+                f"points")
+        return points
+
+
+def reduced_sec46_spec(ruu_sizes: Sequence[int] = (16, 32, 64, 128),
+                       lsq_sizes: Sequence[int] = (8, 16, 32),
+                       widths: Sequence[int] = (2, 4, 8)) -> SweepSpec:
+    """The reduced section 4.6 grid (RUU x LSQ x width) used by the
+    `sec46` experiment, the CLI default and the CI smoke job."""
+    return SweepSpec(
+        name="sec46-reduced",
+        mode="grid",
+        parameters=(
+            ("lsq_size", tuple(lsq_sizes)),
+            ("ruu_size", tuple(ruu_sizes)),
+            ("width", tuple(widths)),
+        ),
+    )

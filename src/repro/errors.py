@@ -41,8 +41,13 @@ class SimulationError(ReproError, ValueError):
 
 
 class ArtifactCorruptError(ReproError, ValueError):
-    """A persisted artifact (profile, checkpoint) is truncated,
-    fails its checksum, or is missing required fields."""
+    """A persisted artifact (profile, checkpoint, cached result) is
+    truncated, fails its checksum, or is missing required fields."""
+
+
+class SweepSpecError(ReproError, ValueError):
+    """A design-space sweep specification (:mod:`repro.dse.space`) is
+    malformed: unknown mode, unsweepable field, or empty expansion."""
 
 
 class TaskTimeoutError(ReproError, TimeoutError):

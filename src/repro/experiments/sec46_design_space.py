@@ -6,32 +6,28 @@ with statistical simulation, and verifies with execution-driven
 simulation that the SS-optimal point is the true optimum or within a
 short range of it (7 of 10 benchmarks exact; the rest within 1.24%).
 
-Here the grid is scaled down but the verification protocol is the same:
-every grid point is evaluated with SS (one profile serves the whole
-grid, since window and width do not affect the statistical profile),
-then all points whose SS EDP is within ``verify_margin`` of the SS
-optimum are re-evaluated execution-driven.
+Here the grid is scaled down but the verification protocol is the same,
+and it runs on the :mod:`repro.dse` subsystem: one profile serves the
+whole grid (window and width do not affect the statistical profile),
+every grid point is evaluated through the parallel, cached
+:class:`~repro.dse.engine.SweepEngine`, then all points whose SS EDP is
+within ``verify_margin`` of the SS optimum are re-evaluated
+execution-driven.  Pass ``jobs``/``cache_dir`` to spread the sweep over
+worker processes and to skip already-evaluated points across runs.
 """
 
 from __future__ import annotations
 
-from itertools import product
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 from repro.config import MachineConfig
-from repro.core.framework import (
-    run_execution_driven,
-    run_statistical_simulation,
-)
-from repro.core.profiler import profile_trace
-from repro.power.wattch import energy_delay_product
-from repro.runner import TaskRunner
+from repro.runner import RunnerPolicy, TaskRunner
+from repro.dse.space import reduced_sec46_spec
+from repro.dse.study import run_study
 from repro.experiments.common import (
     DEFAULT_SCALE,
     ExperimentScale,
     format_table,
-    mean,
-    prepare_benchmark,
     run_per_benchmark,
     suite_config,
     with_report_footer,
@@ -49,19 +45,8 @@ def design_grid(ruu_sizes: Sequence[int] = DEFAULT_RUU,
                 ) -> List[MachineConfig]:
     """All valid grid configs (LSQ never larger than the RUU, as the
     paper constrains)."""
-    base = suite_config()
-    configs = []
-    for ruu, lsq, width in product(ruu_sizes, lsq_sizes, widths):
-        if lsq > ruu:
-            continue
-        configs.append(
-            base.with_window(ruu_size=ruu, lsq_size=lsq).with_width(width))
-    return configs
-
-
-def _label(config: MachineConfig) -> str:
-    return (f"ruu={config.ruu_size} lsq={config.lsq_size} "
-            f"width={config.issue_width}")
+    spec = reduced_sec46_spec(ruu_sizes, lsq_sizes, widths)
+    return [point.config for point in spec.expand(suite_config())]
 
 
 def run(benchmark: str = "twolf",
@@ -69,56 +54,24 @@ def run(benchmark: str = "twolf",
         ruu_sizes: Sequence[int] = DEFAULT_RUU,
         lsq_sizes: Sequence[int] = DEFAULT_LSQ,
         widths: Sequence[int] = DEFAULT_WIDTHS,
-        verify_margin: float = VERIFY_MARGIN) -> Dict:
+        verify_margin: float = VERIFY_MARGIN,
+        jobs: int = 1,
+        cache_dir: Optional[str] = None,
+        policy: Optional[RunnerPolicy] = None) -> Dict:
     """Explore the grid for one benchmark.
 
     Returns the SS-optimal design, the EDS-verified optimum among the
     candidate region, and the EDS EDP gap between them (0.0 when SS
     found the true optimum, as it does for most benchmarks in the
-    paper).
+    paper), plus the sweep's execution accounting (evaluations, cache
+    hits, wall-clock, worker count).
     """
-    config0 = suite_config()
-    warm, trace = prepare_benchmark(benchmark, scale)
-    profile = profile_trace(trace, config0, order=1, branch_mode="delayed",
-                            warmup_trace=warm)
-    grid = design_grid(ruu_sizes, lsq_sizes, widths)
-
-    ss_edp: List[Tuple[float, MachineConfig]] = []
-    for config in grid:
-        edps = []
-        for seed in scale.seeds:
-            report = run_statistical_simulation(
-                trace, config, profile=profile,
-                reduction_factor=scale.reduction_factor, seed=seed)
-            edps.append(report.edp)
-        ss_edp.append((mean(edps), config))
-
-    ss_edp.sort(key=lambda pair: pair[0])
-    best_ss_edp, best_ss_config = ss_edp[0]
-    candidates = [(edp, config) for edp, config in ss_edp
-                  if edp <= best_ss_edp * (1.0 + verify_margin)]
-
-    verified: List[Tuple[float, MachineConfig]] = []
-    for _, config in candidates:
-        result, power = run_execution_driven(trace, config,
-                                             warmup_trace=warm)
-        verified.append(
-            (energy_delay_product(power.total, result.ipc), config))
-    verified.sort(key=lambda pair: pair[0])
-
-    eds_at_ss_optimal = next(edp for edp, config in verified
-                             if config is best_ss_config)
-    eds_best_edp, eds_best_config = verified[0]
-    gap = (eds_at_ss_optimal - eds_best_edp) / eds_best_edp
-    return {
-        "benchmark": benchmark,
-        "grid_points": len(grid),
-        "candidates_verified": len(candidates),
-        "ss_optimal": _label(best_ss_config),
-        "eds_optimal_in_region": _label(eds_best_config),
-        "found_optimal": best_ss_config is eds_best_config,
-        "edp_gap": gap,
-    }
+    spec = reduced_sec46_spec(ruu_sizes, lsq_sizes, widths)
+    study = run_study(spec, benchmark, scale, jobs=jobs,
+                      cache_dir=cache_dir, policy=policy,
+                      verify_margin=verify_margin,
+                      base_config=suite_config())
+    return study.to_row()
 
 
 def run_suite(benchmarks: Sequence[str] = ("twolf", "gzip", "parser"),
@@ -127,7 +80,9 @@ def run_suite(benchmarks: Sequence[str] = ("twolf", "gzip", "parser"),
               ) -> List[Dict]:
     """One grid exploration per benchmark, each as an independent work
     unit of the fault-tolerant runner (a 100+-point grid is exactly the
-    long batch job that must survive one benchmark crashing)."""
+    long batch job that must survive one benchmark crashing).  Within a
+    benchmark, the :mod:`repro.dse` engine additionally applies
+    timeout/retry/caching per design point."""
     return run_per_benchmark(
         "sec46", scale,
         lambda name, sc: run(name, scale=sc, **kwargs),
@@ -137,11 +92,13 @@ def run_suite(benchmarks: Sequence[str] = ("twolf", "gzip", "parser"),
 def format_rows(rows: List[Dict]) -> str:
     table = format_table(
         ["benchmark", "grid", "verified", "SS optimum",
-         "EDS optimum", "found", "EDP gap"],
+         "EDS optimum", "found", "EDP gap", "evals", "cached"],
         [(r["benchmark"], r["grid_points"], r["candidates_verified"],
           r["ss_optimal"], r["eds_optimal_in_region"],
           "yes" if r["found_optimal"] else "no",
-          f"{r['edp_gap'] * 100:.2f}%") for r in rows],
+          f"{r['edp_gap'] * 100:.2f}%",
+          r.get("evaluations", "-"), r.get("cached_evaluations", "-"))
+         for r in rows],
     )
     return with_report_footer(table, rows)
 

@@ -5,9 +5,15 @@ The paper reports 100x–1,000x speedups for 100M-instruction samples
 (and 10,000x–100,000x for 10B), because the synthetic trace is a
 factor R shorter and its simulator models no caches or predictors.
 Here both simulators are Python, so the wall-clock ratio directly
-reflects the work ratio.  Profiling is a one-time cost amortized over
-a design-space exploration, so the report includes the break-even
-design-point count.
+reflects the work ratio.
+
+The per-design-point cost is measured through exactly the evaluation
+function the design-space engine runs (:func:`repro.dse.engine.
+evaluate_metrics` with a derived seed), so these numbers predict real
+sweep behaviour: profiling is the one-time cost amortized over a
+design-space exploration, and every point pays synthesis plus
+synthetic-trace simulation.  The report includes the break-even
+design-point count after which SS beats repeating EDS per point.
 """
 
 from __future__ import annotations
@@ -15,13 +21,12 @@ from __future__ import annotations
 import time
 from typing import Dict, List, Optional
 
-from repro.core.framework import (
-    run_execution_driven,
-    simulate_synthetic_trace,
-)
+from repro.core.framework import run_execution_driven
 from repro.core.profiler import profile_trace
 from repro.core.synthesis import generate_synthetic_trace
 from repro.runner import TaskRunner
+from repro.dse.engine import derive_point_seed, evaluate_metrics
+from repro.dse.space import config_hash
 from repro.experiments.common import (
     DEFAULT_SCALE,
     ExperimentScale,
@@ -46,21 +51,24 @@ def _measure_benchmark(name: str, scale: ExperimentScale) -> Dict:
                             branch_mode="delayed", warmup_trace=warm)
     profile_seconds = time.perf_counter() - started
 
+    seed = derive_point_seed("speedup", name, config_hash(config), 0)
     started = time.perf_counter()
     synthetic = generate_synthetic_trace(
-        profile, scale.reduction_factor, seed=0)
+        profile, scale.reduction_factor, seed=seed)
     synthesis_seconds = time.perf_counter() - started
 
+    # One full design-point evaluation (synthesis + synthetic-trace
+    # simulation), exactly as the dse sweep engine runs it.
     started = time.perf_counter()
-    simulate_synthetic_trace(synthetic, config)
+    metrics = evaluate_metrics(profile, config, seed,
+                               scale.reduction_factor)
     ss_seconds = time.perf_counter() - started
 
     per_point_speedup = eds_seconds / max(ss_seconds, 1e-9)
-    one_time = profile_seconds + synthesis_seconds
-    # Design points after which SS (profile once, simulate cheap)
+    # Design points after which SS (profile once, evaluate cheap)
     # beats repeating EDS per point.
     saved_per_point = eds_seconds - ss_seconds
-    breakeven = (one_time / saved_per_point
+    breakeven = (profile_seconds / saved_per_point
                  if saved_per_point > 0 else float("inf"))
     return {
         "benchmark": name,
@@ -68,7 +76,8 @@ def _measure_benchmark(name: str, scale: ExperimentScale) -> Dict:
         "profile_seconds": profile_seconds,
         "synthesis_seconds": synthesis_seconds,
         "ss_seconds": ss_seconds,
-        "synthetic_instructions": len(synthetic),
+        "synthetic_instructions": int(
+            metrics["synthetic_instructions"]),
         "per_point_speedup": per_point_speedup,
         "breakeven_points": breakeven,
     }
@@ -77,14 +86,15 @@ def _measure_benchmark(name: str, scale: ExperimentScale) -> Dict:
 def run(scale: ExperimentScale = DEFAULT_SCALE,
         runner: Optional[TaskRunner] = None) -> List[Dict]:
     """One row per benchmark: wall-clock seconds for EDS, profiling,
-    synthesis and synthetic simulation, plus derived speedups."""
+    synthesis and a full engine-path SS evaluation, plus derived
+    speedups."""
     return run_per_benchmark("speedup", scale, _measure_benchmark,
                              runner=runner)
 
 
 def format_rows(rows: List[Dict]) -> str:
     table = format_table(
-        ["benchmark", "EDS s", "profile s", "SS sim s",
+        ["benchmark", "EDS s", "profile s", "SS eval s",
          "speedup/point", "break-even pts"],
         [(r["benchmark"], r["eds_seconds"], r["profile_seconds"],
           r["ss_seconds"], f"{r['per_point_speedup']:.1f}x",
@@ -92,7 +102,9 @@ def format_rows(rows: List[Dict]) -> str:
     )
     footer = (f"mean per-design-point speedup: "
               f"{mean([r['per_point_speedup'] for r in rows]):.1f}x "
-              f"at R = (reference / synthetic) length ratio")
+              f"at R = (reference / synthetic) length ratio; "
+              f"per-point cost measured through the repro.dse engine "
+              f"path (synthesis + synthetic simulation)")
     return with_report_footer(table + "\n" + footer, rows)
 
 

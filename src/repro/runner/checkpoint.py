@@ -60,7 +60,7 @@ def read_json_checked(path: Union[str, Path]) -> Dict:
     path = Path(path)
     try:
         text = path.read_text()
-    except OSError as exc:
+    except (OSError, UnicodeDecodeError) as exc:
         raise ArtifactCorruptError(f"cannot read {path}: {exc}") from exc
     try:
         document = json.loads(text)

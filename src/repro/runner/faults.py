@@ -15,6 +15,10 @@ from the environment (CLI smoke runs):
     faults); unset or 0 means every attempt fails (permanent fault).
 ``REPRO_FAULT_DELAY``
     Seconds of injected sleep per attempt (for timeout testing).
+``REPRO_FAULT_CACHE_RATE``
+    Probability in [0, 1] that a freshly written design-space cache
+    entry (:mod:`repro.dse.cache`) is corrupted on disk, exercising the
+    checksum-verify-and-discard path.
 ``REPRO_FAULT_SEED``
     Seed for the probabilistic injector (default 0).
 """
@@ -45,12 +49,15 @@ class FaultPlan:
     fail_rate: float = 0.0
     fail_attempts: int = 0
     delay_seconds: float = 0.0
+    cache_corrupt_rate: float = 0.0
     seed: int = 0
     _rng: random.Random = field(init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.fail_rate <= 1.0:
             raise ValueError("fail_rate must be within [0, 1]")
+        if not 0.0 <= self.cache_corrupt_rate <= 1.0:
+            raise ValueError("cache_corrupt_rate must be within [0, 1]")
         if self.delay_seconds < 0:
             raise ValueError("delay_seconds must be >= 0")
         self._rng = random.Random(self.seed)
@@ -67,12 +74,15 @@ class FaultPlan:
         rate = float(environ.get("REPRO_FAULT_RATE", "0") or 0)
         attempts = int(environ.get("REPRO_FAULT_ATTEMPTS", "0") or 0)
         delay = float(environ.get("REPRO_FAULT_DELAY", "0") or 0)
+        cache_rate = float(
+            environ.get("REPRO_FAULT_CACHE_RATE", "0") or 0)
         seed = int(environ.get("REPRO_FAULT_SEED", "0") or 0)
-        if not benchmarks and rate == 0.0 and delay == 0.0:
+        if not benchmarks and rate == 0.0 and delay == 0.0 \
+                and cache_rate == 0.0:
             return None
         return cls(fail_benchmarks=benchmarks, fail_rate=rate,
                    fail_attempts=attempts, delay_seconds=delay,
-                   seed=seed)
+                   cache_corrupt_rate=cache_rate, seed=seed)
 
     def inject(self, unit_id: str, benchmark: Optional[str],
                attempt: int) -> None:
@@ -90,3 +100,27 @@ class FaultPlan:
             raise InjectedFaultError(
                 f"injected random fault in {unit_id} "
                 f"(attempt {attempt}, rate {self.fail_rate:g})")
+
+    def maybe_corrupt_artifact(self, path) -> bool:
+        """Garble the file at *path* with probability
+        ``cache_corrupt_rate``; returns whether it did.
+
+        Called by the design-space result cache right after a
+        successful write, so injected corruption exercises exactly the
+        checksum-verification path that real bit rot or truncation
+        would.
+        """
+        if self.cache_corrupt_rate <= 0:
+            return False
+        if self._rng.random() >= self.cache_corrupt_rate:
+            return False
+        from pathlib import Path
+
+        target = Path(path)
+        data = target.read_bytes()
+        # Truncate to half and flip a byte: defeats both JSON parsing
+        # and, for short payloads, the embedded checksum.
+        cut = data[:max(1, len(data) // 2)]
+        garbled = bytes([cut[0] ^ 0xFF]) + cut[1:]
+        target.write_bytes(garbled)
+        return True

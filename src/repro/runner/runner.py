@@ -197,6 +197,40 @@ def _error_info(error: BaseException) -> Dict[str, Any]:
     }
 
 
+def call_with_timeout(fn: Callable[[], Any], timeout: Optional[float],
+                      name: str) -> Any:
+    """Run ``fn()`` with a wall-clock budget.
+
+    Raises :class:`~repro.errors.TaskTimeoutError` when *timeout*
+    seconds elapse first; with ``timeout=None`` the call runs inline.
+    Shared by :class:`TaskRunner` and the parallel design-space engine
+    (:mod:`repro.dse.engine`), so per-unit and per-design-point budgets
+    behave identically.  The timed-out worker thread is abandoned
+    (Python cannot kill it); being a daemon it will not block
+    interpreter exit.
+    """
+    if timeout is None:
+        return fn()
+    box: Dict[str, Any] = {}
+
+    def worker() -> None:
+        try:
+            box["result"] = fn()
+        except BaseException as exc:  # noqa: BLE001 — re-raised below
+            box["error"] = exc
+
+    thread = threading.Thread(target=worker, daemon=True,
+                              name=f"repro-unit-{name}")
+    thread.start()
+    thread.join(timeout)
+    if thread.is_alive():
+        raise TaskTimeoutError(
+            f"{name} exceeded its {timeout:g}s budget")
+    if "error" in box:
+        raise box["error"]
+    return box["result"]
+
+
 class TaskRunner:
     """Executes work units with containment, timeouts, retries and
     checkpointing.  See the module docstring for semantics."""
@@ -224,30 +258,8 @@ class TaskRunner:
 
     def _call_with_timeout(self, fn: Callable[[WorkUnit], Any],
                            unit: WorkUnit) -> Any:
-        timeout = self.policy.timeout
-        if timeout is None:
-            return fn(unit)
-        box: Dict[str, Any] = {}
-
-        def worker() -> None:
-            try:
-                box["result"] = fn(unit)
-            except BaseException as exc:  # noqa: BLE001 — re-raised below
-                box["error"] = exc
-
-        thread = threading.Thread(
-            target=worker, daemon=True,
-            name=f"repro-unit-{unit.unit_id}")
-        thread.start()
-        thread.join(timeout)
-        if thread.is_alive():
-            # The worker thread is abandoned (Python cannot kill it);
-            # being a daemon it will not block interpreter exit.
-            raise TaskTimeoutError(
-                f"{unit.unit_id} exceeded its {timeout:g}s budget")
-        if "error" in box:
-            raise box["error"]
-        return box["result"]
+        return call_with_timeout(lambda: fn(unit), self.policy.timeout,
+                                 unit.unit_id)
 
     def _attempt_loop(self, fn: Callable[[WorkUnit], Any],
                       unit: WorkUnit) -> UnitOutcome:

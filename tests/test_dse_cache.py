@@ -1,0 +1,84 @@
+"""Content-addressed result cache: keying, integrity, fault injection."""
+
+import json
+
+from repro.config import baseline_config
+from repro.runner.faults import FaultPlan
+from repro.dse.cache import ResultCache, result_key
+from repro.dse.space import apply_overrides, config_hash
+
+PROFILE_HASH = "p" * 64
+METRICS = {"ipc": 1.5, "epc": 20.0, "edp": 8.9,
+           "synthetic_instructions": 1000}
+
+
+class TestKeying:
+    def test_key_is_stable(self):
+        assert result_key(PROFILE_HASH, "c" * 64, 0, 6.0) == \
+            result_key(PROFILE_HASH, "c" * 64, 0, 6.0)
+
+    def test_changed_config_field_misses(self):
+        base = baseline_config()
+        changed = apply_overrides(base, {"ruu_size": 64})
+        assert result_key(PROFILE_HASH, config_hash(base), 0, 6.0) != \
+            result_key(PROFILE_HASH, config_hash(changed), 0, 6.0)
+
+    def test_changed_profile_misses(self):
+        chash = config_hash(baseline_config())
+        assert result_key("a" * 64, chash, 0, 6.0) != \
+            result_key("b" * 64, chash, 0, 6.0)
+
+    def test_seed_and_reduction_factor_in_key(self):
+        chash = config_hash(baseline_config())
+        keys = {result_key(PROFILE_HASH, chash, seed, factor)
+                for seed in (0, 1) for factor in (4.0, 6.0)}
+        assert len(keys) == 4
+
+
+class TestStore:
+    def test_round_trip_and_stats(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = result_key(PROFILE_HASH, "c" * 64, 0, 6.0)
+        assert cache.get(key) is None
+        cache.put(key, METRICS, meta={"task_id": "t"})
+        entry = cache.get(key)
+        assert entry["metrics"] == METRICS
+        assert entry["meta"]["task_id"] == "t"
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.writes == 1
+        assert len(cache) == 1
+
+    def test_corrupt_entry_discarded_and_remissed(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = result_key(PROFILE_HASH, "c" * 64, 0, 6.0)
+        path = cache.put(key, METRICS)
+        # Bit-flip the payload: the checksum no longer matches.
+        data = json.loads(path.read_text())
+        data["metrics"]["ipc"] = 99.0
+        path.write_text(json.dumps(data))
+        assert cache.get(key) is None
+        assert cache.stats.corrupt_discarded == 1
+        assert not path.exists()  # discarded for re-evaluation
+
+    def test_truncated_entry_discarded(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = result_key(PROFILE_HASH, "c" * 64, 0, 6.0)
+        path = cache.put(key, METRICS)
+        path.write_text(path.read_text()[: len(path.read_text()) // 2])
+        assert cache.get(key) is None
+        assert cache.stats.corrupt_discarded == 1
+
+    def test_fault_plan_corrupts_fresh_writes(self, tmp_path):
+        plan = FaultPlan(cache_corrupt_rate=1.0)
+        cache = ResultCache(tmp_path, fault_plan=plan)
+        key = result_key(PROFILE_HASH, "c" * 64, 0, 6.0)
+        cache.put(key, METRICS)
+        assert cache.get(key) is None  # injected corruption detected
+        assert cache.stats.corrupt_discarded == 1
+
+    def test_fault_plan_from_env_reads_cache_rate(self):
+        plan = FaultPlan.from_env({"REPRO_FAULT_CACHE_RATE": "1.0"})
+        assert plan is not None
+        assert plan.cache_corrupt_rate == 1.0
+        assert FaultPlan.from_env({}) is None

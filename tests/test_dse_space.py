@@ -1,0 +1,131 @@
+"""Design-point model: sweep specs, expansion, content hashes."""
+
+import pytest
+
+from repro.config import baseline_config
+from repro.errors import SweepSpecError
+from repro.dse.space import (
+    DesignPoint,
+    SweepSpec,
+    apply_overrides,
+    config_hash,
+    profile_content_hash,
+    reduced_sec46_spec,
+)
+
+
+class TestApplyOverrides:
+    def test_plain_field(self):
+        config = apply_overrides(baseline_config(), {"ruu_size": 64})
+        assert config.ruu_size == 64
+
+    def test_width_alias_sets_all_three(self):
+        config = apply_overrides(baseline_config(), {"width": 4})
+        assert (config.decode_width, config.issue_width,
+                config.commit_width) == (4, 4, 4)
+
+    def test_unsweepable_field_rejected(self):
+        # IFQ size changes the statistical profile (section 4.4), so a
+        # single-profile sweep over it would be silently wrong.
+        with pytest.raises(SweepSpecError, match="not sweepable"):
+            apply_overrides(baseline_config(), {"ifq_size": 8})
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(SweepSpecError):
+            apply_overrides(baseline_config(), {"no_such_field": 1})
+
+
+class TestSweepSpec:
+    def test_grid_expansion_skips_invalid_combos(self):
+        spec = SweepSpec(mode="grid", parameters=(
+            ("lsq_size", (8, 64)), ("ruu_size", (16, 128))))
+        points = spec.expand()
+        # lsq=64/ruu=16 violates the paper's LSQ <= RUU constraint.
+        assert len(points) == 3
+        assert all(p.config.lsq_size <= p.config.ruu_size
+                   for p in points)
+
+    def test_list_mode(self):
+        spec = SweepSpec(mode="list", points=(
+            (("ruu_size", 32),), (("ruu_size", 64), ("width", 2))))
+        points = spec.expand()
+        assert [p.params_dict() for p in points] == [
+            {"ruu_size": 32}, {"ruu_size": 64, "width": 2}]
+
+    def test_random_mode_is_deterministic(self):
+        spec = SweepSpec(mode="random", samples=4, seed=7, parameters=(
+            ("ruu_size", (32, 64, 128)), ("width", (2, 4, 8))))
+        first = [p.point_id for p in spec.expand()]
+        second = [p.point_id for p in spec.expand()]
+        assert first == second
+        assert len(first) == 4
+        assert len(set(first)) == 4
+
+    def test_random_requires_samples(self):
+        with pytest.raises(SweepSpecError, match="samples"):
+            SweepSpec(mode="random", parameters=(("width", (2, 4)),))
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(SweepSpecError, match="mode"):
+            SweepSpec(mode="lattice", parameters=(("width", (2,)),))
+
+    def test_base_overrides_apply_to_every_point(self):
+        spec = SweepSpec(mode="grid",
+                         parameters=(("width", (2, 4)),),
+                         base=(("memory_latency", 99),))
+        assert all(p.config.memory_latency == 99
+                   for p in spec.expand())
+
+    def test_from_dict_round_trip(self):
+        data = {"name": "s", "mode": "grid",
+                "parameters": {"ruu_size": [32, 64], "width": [2]},
+                "base": {"memory_latency": 120}}
+        spec = SweepSpec.from_dict(data)
+        assert spec.to_dict()["parameters"] == data["parameters"]
+        assert len(spec.expand()) == 2
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(SweepSpecError, match="unknown keys"):
+            SweepSpec.from_dict({"mode": "grid", "grid": {}})
+
+    def test_from_file_rejects_bad_json(self, tmp_path):
+        path = tmp_path / "sweep.json"
+        path.write_text("{not json")
+        with pytest.raises(SweepSpecError, match="not valid JSON"):
+            SweepSpec.from_file(path)
+
+    def test_empty_expansion_is_an_error(self):
+        spec = SweepSpec(mode="grid", parameters=(
+            ("lsq_size", (64,)), ("ruu_size", (16,))))
+        with pytest.raises(SweepSpecError, match="zero valid"):
+            spec.expand()
+
+    def test_reduced_sec46_spec_matches_paper_constraint(self):
+        points = reduced_sec46_spec().expand()
+        # 4 RUU x 3 LSQ x 3 widths = 36, minus the three lsq > ruu
+        # combos (ruu=16 with lsq=32) at each of the 3 widths.
+        assert len(points) == 33
+        assert all(p.config.lsq_size <= p.config.ruu_size
+                   for p in points)
+
+
+class TestHashes:
+    def test_config_hash_stable_and_sensitive(self):
+        base = baseline_config()
+        assert config_hash(base) == config_hash(baseline_config())
+        changed = apply_overrides(base, {"ruu_size": 64})
+        assert config_hash(changed) != config_hash(base)
+
+    def test_point_id_and_hash(self):
+        point = DesignPoint(config=baseline_config(),
+                            params=(("ruu_size", 64), ("width", 4)))
+        assert point.point_id == "ruu_size=64,width=4"
+        assert len(point.config_hash) == 64
+
+    def test_profile_hash_sensitive_to_content(self, tiny_trace, config):
+        from repro.core.profiler import profile_trace
+
+        p1 = profile_trace(tiny_trace, config, order=1)
+        p2 = profile_trace(tiny_trace, config, order=0)
+        assert profile_content_hash(p1) == profile_content_hash(p1)
+        assert profile_content_hash(p1) != profile_content_hash(p2)
