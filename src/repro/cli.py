@@ -18,8 +18,10 @@ from __future__ import annotations
 import argparse
 import importlib
 import sys
+from pathlib import Path
 from typing import List, Optional
 
+from repro import obs
 from repro.errors import ReproError
 
 #: Experiments whose ``run`` accepts a fault-tolerant ``runner=``
@@ -83,17 +85,56 @@ def _positive_float(text: str) -> float:
     return value
 
 
+def _obs_parent() -> argparse.ArgumentParser:
+    """Observability flags, accepted both before and after the
+    subcommand (defaults are SUPPRESSed so a subparser never clobbers a
+    value given at the top level)."""
+    parent = argparse.ArgumentParser(add_help=False)
+    group = parent.add_mutually_exclusive_group()
+    group.add_argument(
+        "-q", "--quiet", action="store_true", default=argparse.SUPPRESS,
+        help="console shows only warnings and errors")
+    group.add_argument(
+        "-v", "--verbose", action="store_true",
+        default=argparse.SUPPRESS,
+        help="console shows debug events (spans, unit lifecycle)")
+    parent.add_argument(
+        "--log-json", default=argparse.SUPPRESS, metavar="PATH",
+        help="write every event as one JSON object per line to PATH "
+             "(schema: docs/observability.md); also writes a "
+             "metrics.json snapshot next to it")
+    parent.add_argument(
+        "--metrics", default=argparse.SUPPRESS, metavar="PATH",
+        help="write the end-of-run metrics registry snapshot to PATH")
+    # dest is namespaced: several subcommands have a positional
+    # ``profile`` (the saved-profile path) that would share the dest.
+    parent.add_argument(
+        "--profile", dest="obs_profile", default=argparse.SUPPRESS,
+        choices=("cprofile",),
+        help="dump a pstats profile per work unit for hot-path "
+             "analysis")
+    parent.add_argument(
+        "--profile-dir", dest="obs_profile_dir",
+        default=argparse.SUPPRESS, metavar="DIR",
+        help="where --profile dumps land (default: profiles/)")
+    return parent
+
+
 def _build_parser() -> argparse.ArgumentParser:
+    obs_parent = _obs_parent()
     parser = argparse.ArgumentParser(
         prog="repro",
+        parents=[obs_parent],
         description="Statistical simulation with control-flow modeling "
                     "(Eeckhout et al., ISCA 2004 reproduction)")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("benchmarks", help="list the workload suite")
+    sub.add_parser("benchmarks", help="list the workload suite",
+                   parents=[obs_parent])
 
     simulate = sub.add_parser(
-        "simulate", help="execution-driven vs statistical simulation")
+        "simulate", parents=[obs_parent],
+        help="execution-driven vs statistical simulation")
     simulate.add_argument("benchmark")
     simulate.add_argument("--instructions", type=_positive_int,
                           default=60_000)
@@ -104,8 +145,9 @@ def _build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("-k", "--order", type=_positive_int, default=1)
     simulate.add_argument("--seed", type=int, default=0)
 
-    profile = sub.add_parser("profile",
-                             help="measure and save a statistical profile")
+    profile = sub.add_parser(
+        "profile", parents=[obs_parent],
+        help="measure and save a statistical profile")
     profile.add_argument("benchmark")
     profile.add_argument("-o", "--output", required=True)
     profile.add_argument("--instructions", type=_positive_int,
@@ -117,7 +159,8 @@ def _build_parser() -> argparse.ArgumentParser:
                          choices=("delayed", "immediate", "perfect"))
 
     synthesize = sub.add_parser(
-        "synthesize", help="generate a synthetic trace from a profile")
+        "synthesize", parents=[obs_parent],
+        help="generate a synthetic trace from a profile")
     synthesize.add_argument("profile")
     synthesize.add_argument("-R", "--reduction-factor",
                             type=_positive_float, default=6.0)
@@ -126,7 +169,8 @@ def _build_parser() -> argparse.ArgumentParser:
                             help="also simulate the synthetic trace")
 
     experiment = sub.add_parser(
-        "experiment", help="regenerate a table/figure of the paper")
+        "experiment", parents=[obs_parent],
+        help="regenerate a table/figure of the paper")
     experiment.add_argument("name", choices=sorted(EXPERIMENTS))
     experiment.add_argument("--scale", default="quick",
                             choices=("quick", "default"))
@@ -150,8 +194,9 @@ def _build_parser() -> argparse.ArgumentParser:
         help="retry budget for retryable failures (default: 2)")
 
     dse = sub.add_parser(
-        "dse", help="parallel, cached design-space sweep "
-                    "(the section 4.6 protocol as a subsystem)")
+        "dse", parents=[obs_parent],
+        help="parallel, cached design-space sweep "
+             "(the section 4.6 protocol as a subsystem)")
     dse.add_argument(
         "--sweep", default=None, metavar="SPEC.json",
         help="sweep specification file (see docs/design_space.md); "
@@ -204,7 +249,8 @@ def _build_parser() -> argparse.ArgumentParser:
              "benchmark to this path")
 
     analyze = sub.add_parser(
-        "analyze", help="analyze a saved profile's flow graph")
+        "analyze", parents=[obs_parent],
+        help="analyze a saved profile's flow graph")
     analyze.add_argument("profile")
     analyze.add_argument("-R", "--reduction-factor", type=float,
                          default=None,
@@ -212,7 +258,8 @@ def _build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--top", type=int, default=8)
 
     validate = sub.add_parser(
-        "validate", help="drift report: profile vs synthetic trace")
+        "validate", parents=[obs_parent],
+        help="drift report: profile vs synthetic trace")
     validate.add_argument("profile")
     validate.add_argument("-R", "--reduction-factor", type=float,
                           default=6.0)
@@ -220,7 +267,8 @@ def _build_parser() -> argparse.ArgumentParser:
     validate.add_argument("--threshold", type=float, default=0.05)
 
     trace = sub.add_parser(
-        "trace", help="record a workload's dynamic trace to a file")
+        "trace", parents=[obs_parent],
+        help="record a workload's dynamic trace to a file")
     trace.add_argument("benchmark")
     trace.add_argument("-o", "--output", required=True)
     trace.add_argument("--instructions", type=_positive_int,
@@ -228,7 +276,8 @@ def _build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--warmup", type=_non_negative_int, default=0)
 
     report = sub.add_parser(
-        "report", help="run every experiment and write a Markdown report")
+        "report", parents=[obs_parent],
+        help="run every experiment and write a Markdown report")
     report.add_argument("-o", "--output", required=True)
     report.add_argument("--scale", default="quick",
                         choices=("quick", "default"))
@@ -335,15 +384,15 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
                        if name.strip())
         unknown = sorted(set(chosen) - set(benchmark_names()))
         if unknown:
-            print(f"error: unknown benchmark(s): {', '.join(unknown)}; "
-                  f"run 'repro benchmarks' for the suite",
-                  file=sys.stderr)
+            obs.error(f"unknown benchmark(s): {', '.join(unknown)}; "
+                      f"run 'repro benchmarks' for the suite",
+                      event="cli_error")
             return 2
         scale = scale.with_benchmarks(chosen)
     if args.resume and not args.run_dir:
-        print("error: --resume requires --run-dir (there is nothing "
-              "to resume from without a checkpoint directory)",
-              file=sys.stderr)
+        obs.error("--resume requires --run-dir (there is nothing "
+                  "to resume from without a checkpoint directory)",
+                  event="cli_error")
         return 2
 
     runner = None
@@ -353,19 +402,19 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
                                 max_retries=args.retries),
             run_dir=args.run_dir,
             resume=args.resume,
-            log=lambda message: print(message, file=sys.stderr),
         )
     elif args.run_dir or args.timeout is not None:
-        print(f"note: experiment {args.name!r} does not run through "
-              f"the fault-tolerant runner; --run-dir/--resume/"
-              f"--timeout are ignored", file=sys.stderr)
+        obs.info(f"note: experiment {args.name!r} does not run through "
+                 f"the fault-tolerant runner; --run-dir/--resume/"
+                 f"--timeout are ignored")
 
     print(_run_experiment(args.name, scale, runner=runner))
     if runner is not None and runner.last_report is not None:
         summary = runner.last_report.summary()
         if args.run_dir:
-            print(f"checkpoints: {args.run_dir} ({summary})",
-                  file=sys.stderr)
+            obs.info(f"checkpoints: {args.run_dir} ({summary})",
+                     event="checkpoint_summary",
+                     run_dir=str(args.run_dir))
     return 0
 
 
@@ -379,12 +428,12 @@ def _cmd_dse(args: argparse.Namespace) -> int:
     from repro.workloads.spec import benchmark_names
 
     if args.benchmark not in benchmark_names():
-        print(f"error: unknown benchmark {args.benchmark!r}; run "
-              f"'repro benchmarks' for the suite", file=sys.stderr)
+        obs.error(f"unknown benchmark {args.benchmark!r}; run "
+                  f"'repro benchmarks' for the suite", event="cli_error")
         return 2
     if args.resume and not args.cache_dir:
-        print("error: --resume requires --cache-dir (the cache is the "
-              "sweep's resume state)", file=sys.stderr)
+        obs.error("--resume requires --cache-dir (the cache is the "
+                  "sweep's resume state)", event="cli_error")
         return 2
 
     spec = (SweepSpec.from_file(args.sweep) if args.sweep
@@ -398,14 +447,14 @@ def _cmd_dse(args: argparse.Namespace) -> int:
             seeds = tuple(int(part) for part in args.seeds.split(",")
                           if part.strip())
         except ValueError:
-            print(f"error: --seeds must be comma-separated integers, "
-                  f"got {args.seeds!r}", file=sys.stderr)
+            obs.error(f"--seeds must be comma-separated integers, "
+                      f"got {args.seeds!r}", event="cli_error")
             return 2
         if not seeds:
-            print("error: --seeds must name at least one seed",
-                  file=sys.stderr)
+            obs.error("--seeds must name at least one seed",
+                      event="cli_error")
             return 2
-    log = (lambda message: print(message, file=sys.stderr))
+    log = obs.info
 
     if args.bench:
         payload = run_dse_bench(spec, args.benchmark, scale,
@@ -536,7 +585,9 @@ def _cmd_report(args: argparse.Namespace) -> int:
         started = time.perf_counter()
         table = _run_experiment(name, scale)
         elapsed = time.perf_counter() - started
-        print(f"{name}: done in {elapsed:.1f}s")
+        obs.info(f"{name}: done in {elapsed:.1f}s",
+                 event="experiment_done", experiment=name,
+                 elapsed=round(elapsed, 3))
         sections.append(f"## {name}\n\n```\n{table}\n```\n")
     body = (f"# repro experiment report ({args.scale} scale)\n\n"
             + "\n".join(sections))
@@ -546,33 +597,81 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Commands whose work units are profiled individually by the runner;
+#: the CLI-level profile wrapper skips them so one thread never hosts
+#: two active profilers.
+_UNIT_PROFILED_COMMANDS = frozenset({"experiment", "dse"})
+
+
+def _dispatch(args: argparse.Namespace) -> int:
+    if args.command == "benchmarks":
+        return _cmd_benchmarks()
+    if args.command == "simulate":
+        return _cmd_simulate(args)
+    if args.command == "profile":
+        return _cmd_profile(args)
+    if args.command == "synthesize":
+        return _cmd_synthesize(args)
+    if args.command == "experiment":
+        return _cmd_experiment(args)
+    if args.command == "dse":
+        return _cmd_dse(args)
+    if args.command == "analyze":
+        return _cmd_analyze(args)
+    if args.command == "validate":
+        return _cmd_validate(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
+    if args.command == "report":
+        return _cmd_report(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+def _metrics_path(args: argparse.Namespace) -> Optional[Path]:
+    """Where this run's metrics.json goes: an explicit ``--metrics``
+    wins; with ``--log-json`` the snapshot lands next to the event log
+    (the acceptance contract: a log always comes with its metrics)."""
+    explicit = getattr(args, "metrics", None)
+    if explicit:
+        return Path(explicit)
+    log_json = getattr(args, "log_json", None)
+    if log_json:
+        return Path(log_json).parent / "metrics.json"
+    return None
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
+    quiet = getattr(args, "quiet", False)
+    verbose = getattr(args, "verbose", False)
+    console_level = ("warning" if quiet
+                     else "debug" if verbose else "info")
+    obs.reset_registry()
+    obs.configure(
+        console_level=console_level,
+        log_json=getattr(args, "log_json", None),
+        profile=getattr(args, "obs_profile", None),
+        profile_dir=getattr(args, "obs_profile_dir", None),
+    )
+    obs.emit("run_start", level="debug", command=args.command,
+             argv=list(argv) if argv is not None else sys.argv[1:])
+    status = 1
     try:
-        if args.command == "benchmarks":
-            return _cmd_benchmarks()
-        if args.command == "simulate":
-            return _cmd_simulate(args)
-        if args.command == "profile":
-            return _cmd_profile(args)
-        if args.command == "synthesize":
-            return _cmd_synthesize(args)
-        if args.command == "experiment":
-            return _cmd_experiment(args)
-        if args.command == "dse":
-            return _cmd_dse(args)
-        if args.command == "analyze":
-            return _cmd_analyze(args)
-        if args.command == "validate":
-            return _cmd_validate(args)
-        if args.command == "trace":
-            return _cmd_trace(args)
-        if args.command == "report":
-            return _cmd_report(args)
+        fn = lambda: _dispatch(args)  # noqa: E731
+        if args.command not in _UNIT_PROFILED_COMMANDS:
+            fn = obs.maybe_profiled(fn, f"cli.{args.command}")
+        status = fn()
+        return status
     except ReproError as exc:
-        print(f"error: {exc}", file=sys.stderr)
+        obs.error(str(exc), event="cli_error",
+                  error=type(exc).__name__)
         return 1
-    raise AssertionError(f"unhandled command {args.command!r}")
+    finally:
+        obs.emit("run_end", level="debug", command=args.command,
+                 status=status)
+        metrics_path = _metrics_path(args)
+        if metrics_path is not None:
+            obs.get_registry().write(metrics_path)
 
 
 if __name__ == "__main__":  # pragma: no cover

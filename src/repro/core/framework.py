@@ -13,6 +13,7 @@ from typing import Optional, Tuple
 
 from repro.config import MachineConfig
 from repro.errors import ProfileError, SynthesisError
+from repro.obs.tracing import trace_span
 from repro.frontend.trace import Trace
 from repro.cpu.pipeline import simulate
 from repro.cpu.results import SimulationResult
@@ -67,16 +68,18 @@ def run_execution_driven(
     measures warm samples out of long executions)."""
     from repro.frontend.warming import warm_locality_structures
 
-    hierarchy, predictor = warm_locality_structures(warmup_trace, config)
-    source = ExecutionDrivenSource(
-        trace, config,
-        perfect_caches=perfect_caches,
-        perfect_branch_prediction=perfect_branch_prediction,
-        hierarchy=hierarchy,
-        predictor=predictor,
-    )
-    result = simulate(config, source)
-    power = WattchPowerModel(config).energy_per_cycle(result)
+    with trace_span("simulate", bench=trace.name, mode="execution"):
+        hierarchy, predictor = warm_locality_structures(warmup_trace,
+                                                        config)
+        source = ExecutionDrivenSource(
+            trace, config,
+            perfect_caches=perfect_caches,
+            perfect_branch_prediction=perfect_branch_prediction,
+            hierarchy=hierarchy,
+            predictor=predictor,
+        )
+        result = simulate(config, source)
+        power = WattchPowerModel(config).energy_per_cycle(result)
     return result, power
 
 
@@ -85,9 +88,10 @@ def simulate_synthetic_trace(
 ) -> Tuple[SimulationResult, PowerBreakdown]:
     """Synthetic-trace simulation (paper section 2.3): the shared
     pipeline consuming pre-annotated slots, no caches, no predictors."""
-    source = PreannotatedSource(synthetic.to_fetch_slots(config))
-    result = simulate(config, source)
-    power = WattchPowerModel(config).energy_per_cycle(result)
+    with trace_span("simulate", bench=synthetic.name, mode="synthetic"):
+        source = PreannotatedSource(synthetic.to_fetch_slots(config))
+        result = simulate(config, source)
+        power = WattchPowerModel(config).energy_per_cycle(result)
     return result, power
 
 

@@ -98,6 +98,20 @@ def profile_trace(trace: Trace, config: MachineConfig, order: int = 1,
     predictor before characteristics are recorded, so the profile
     describes the warm measurement window the paper's samples represent.
     """
+    from repro.obs.tracing import trace_span
+
+    with trace_span("profile", bench=trace.name, order=order):
+        return _profile_trace(trace, config, order=order,
+                              branch_mode=branch_mode,
+                              perfect_caches=perfect_caches,
+                              warmup_trace=warmup_trace)
+
+
+def _profile_trace(trace: Trace, config: MachineConfig, order: int = 1,
+                   branch_mode: str = "delayed",
+                   perfect_caches: bool = False,
+                   warmup_trace: Optional[Trace] = None
+                   ) -> StatisticalProfile:
     from repro.frontend.warming import warm_locality_structures
 
     if order < 0:

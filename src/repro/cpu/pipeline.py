@@ -31,6 +31,7 @@ from typing import Dict, List, Optional
 
 from repro.config import MachineConfig
 from repro.errors import SimulationError
+from repro.obs.metrics import record_simulation
 from repro.isa.iclass import FunctionalUnit
 from repro.branch.unit import BranchOutcome
 from repro.cpu.results import SimulationResult
@@ -336,7 +337,7 @@ class SuperscalarPipeline:
                     f"({committed} committed)"
                 )
 
-        return SimulationResult(
+        result = SimulationResult(
             cycles=cycle,
             instructions=committed,
             avg_ruu_occupancy=ruu_occupancy_sum / cycle if cycle else 0.0,
@@ -349,6 +350,8 @@ class SuperscalarPipeline:
             branch_mispredictions=mispredictions,
             squashed_instructions=squashed_total,
         )
+        record_simulation(result)
+        return result
 
 
 def simulate(config: MachineConfig,

@@ -57,8 +57,35 @@ class SimulationResult:
     def occupancy(self, unit: str) -> float:
         """Average occupancy of ``"ruu"``, ``"lsq"`` or ``"ifq"``."""
         try:
-            return {"ruu": self.avg_ruu_occupancy,
-                    "lsq": self.avg_lsq_occupancy,
-                    "ifq": self.avg_ifq_occupancy}[unit]
+            return self.occupancies[unit]
         except KeyError:
             raise ValueError(f"unknown occupancy unit {unit!r}") from None
+
+    @property
+    def occupancies(self) -> Dict[str, float]:
+        """All average structure occupancies, keyed by unit."""
+        return {"ruu": self.avg_ruu_occupancy,
+                "lsq": self.avg_lsq_occupancy,
+                "ifq": self.avg_ifq_occupancy}
+
+    def to_metrics(self) -> Dict[str, float]:
+        """Flat metric view of this run — occupancy gauges, headline
+        rates and per-unit activity — matching the names the metrics
+        registry publishes (see ``docs/observability.md``), so
+        validation and analysis read them without going through the
+        power model."""
+        metrics: Dict[str, float] = {
+            "pipeline.cycles": float(self.cycles),
+            "pipeline.instructions": float(self.instructions),
+            "pipeline.ipc": self.ipc,
+            "pipeline.ruu_occupancy": self.avg_ruu_occupancy,
+            "pipeline.lsq_occupancy": self.avg_lsq_occupancy,
+            "pipeline.ifq_occupancy": self.avg_ifq_occupancy,
+            "pipeline.branch_mispredictions":
+                float(self.branch_mispredictions),
+            "pipeline.squashed_instructions":
+                float(self.squashed_instructions),
+        }
+        for unit, count in self.activity.items():
+            metrics[f"pipeline.activity.{unit}"] = float(count)
+        return metrics

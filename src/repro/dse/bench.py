@@ -22,17 +22,33 @@ import shutil
 from pathlib import Path
 from typing import Any, Dict, Optional, Sequence, Union
 
+from repro.obs.tracing import phase_breakdown
 from repro.dse.engine import SweepEngine, SweepResult
 from repro.dse.cache import ResultCache
 from repro.dse.space import SweepSpec
 from repro.dse.study import profile_benchmark
 
-BENCH_SCHEMA = 1
+BENCH_SCHEMA = 2
 
 
 def _metrics_map(sweep: SweepResult) -> Dict[str, Dict[int, Dict]]:
     return {result.point.point_id: result.per_seed
             for result in sweep.results}
+
+
+def _phase_delta(before: Dict[str, Dict],
+                 after: Dict[str, Dict]) -> Dict[str, Dict]:
+    """Per-phase wall-clock spent between two ``phase_breakdown``
+    snapshots — the benchmark's own share of a process-wide registry."""
+    delta: Dict[str, Dict] = {}
+    for phase, stats in after.items():
+        count = stats["count"] - before.get(phase, {}).get("count", 0)
+        total = stats["total"] - before.get(phase, {}).get("total", 0.0)
+        if count <= 0:
+            continue
+        delta[phase] = {"count": count, "total": total,
+                        "mean": total / count}
+    return delta
 
 
 def run_dse_bench(
@@ -48,6 +64,7 @@ def run_dse_bench(
     import tempfile
 
     log = log or (lambda message: None)
+    phases_before = phase_breakdown()
     profile, _warm, _trace = profile_benchmark(benchmark, scale)
     points = spec.expand()
     seeds = tuple(seeds if seeds is not None else scale.seeds)
@@ -100,6 +117,9 @@ def run_dse_bench(
         "warm_rerun_skipped": warm.cached,
         "warm_rerun_skipped_fraction": skipped_fraction,
         "warm_rerun_evaluated": warm.evaluated,
+        # Where the time went (profile/reduce/synthesize/simulate ...),
+        # so the perf trajectory records more than totals.
+        "phases": _phase_delta(phases_before, phase_breakdown()),
     }
 
 

@@ -31,6 +31,8 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.config import MachineConfig
 from repro.errors import is_retryable
+from repro.obs import events as obs_events
+from repro.obs.metrics import get_registry
 from repro.runner import RunnerPolicy, TaskRunner, WorkUnit
 from repro.runner.faults import FaultPlan
 from repro.runner.runner import call_with_timeout
@@ -346,6 +348,15 @@ class SweepEngine:
         written back to the cache.
         """
         started = time.perf_counter()
+        registry = get_registry()
+        stats_before = (self.cache.stats.to_payload()
+                        if self.cache is not None else None)
+        obs_events.emit("sweep_start", level="debug",
+                        experiment=self.experiment,
+                        benchmark=self.benchmark,
+                        points=len(points), seeds=list(seeds),
+                        jobs=self.jobs,
+                        reduction_factor=reduction_factor)
         results = [PointResult(point=point) for point in points]
 
         pending: List[Dict[str, Any]] = []
@@ -376,6 +387,8 @@ class SweepEngine:
         for outcome in outcomes:
             task = outcome["task"]
             result = results[task["point_index"]]
+            registry.histogram("dse.evaluation_seconds").observe(
+                outcome["elapsed"])
             if outcome["status"] == "ok":
                 evaluated += 1
                 result.per_seed[task["base_seed"]] = outcome["metrics"]
@@ -397,14 +410,38 @@ class SweepEngine:
                 result.errors.append(
                     {"task_id": task["task_id"], **(outcome["error"]
                                                     or {})})
-                self.log(f"{task['task_id']}: failed after "
-                         f"{outcome['attempts']} attempt(s): "
-                         f"{(outcome['error'] or {}).get('type')}: "
-                         f"{(outcome['error'] or {}).get('message')}")
+                message = (f"{task['task_id']}: failed after "
+                           f"{outcome['attempts']} attempt(s): "
+                           f"{(outcome['error'] or {}).get('type')}: "
+                           f"{(outcome['error'] or {}).get('message')}")
+                obs_events.emit("point_failed", msg=message,
+                                level="warning",
+                                task=task["task_id"],
+                                attempts=outcome["attempts"],
+                                error=(outcome["error"]
+                                       or {}).get("type"))
+                self.log(message)
 
+        registry.counter("dse.evaluated").inc(evaluated)
+        registry.counter("dse.failed").inc(failed)
+        registry.counter("dse.cache_hits").inc(cached)
+        if stats_before is not None:
+            stats_after = self.cache.stats.to_payload()
+            for key, metric in (("misses", "dse.cache_misses"),
+                                ("writes", "dse.cache_writes"),
+                                ("corrupt_discarded",
+                                 "dse.cache_corrupt_discarded")):
+                registry.counter(metric).inc(
+                    int(stats_after[key]) - int(stats_before[key]))
+        elapsed = time.perf_counter() - started
+        obs_events.emit("sweep_end", level="debug",
+                        experiment=self.experiment,
+                        benchmark=self.benchmark,
+                        evaluated=evaluated, cached=cached,
+                        failed=failed, elapsed=round(elapsed, 6))
         return SweepResult(
             results=results,
-            elapsed=time.perf_counter() - started,
+            elapsed=elapsed,
             jobs=self.jobs,
             seeds=tuple(seeds),
             reduction_factor=reduction_factor,

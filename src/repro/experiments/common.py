@@ -14,6 +14,7 @@ from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.config import MachineConfig, baseline_config
+from repro.obs.tracing import trace_span
 from repro.frontend.trace import Trace
 from repro.frontend.warming import run_program_with_warmup
 from repro.runner import (
@@ -72,9 +73,10 @@ def bench_scale() -> ExperimentScale:
 def prepare_benchmark(name: str,
                       scale: ExperimentScale) -> Tuple[Trace, Trace]:
     """Return ``(warmup_trace, reference_trace)`` for one workload."""
-    program = build_benchmark(name)
-    return run_program_with_warmup(program, warmup=scale.warmup,
-                                   n_instructions=scale.reference)
+    with trace_span("prepare", bench=name):
+        program = build_benchmark(name)
+        return run_program_with_warmup(program, warmup=scale.warmup,
+                                       n_instructions=scale.reference)
 
 
 class PreparedSuite(Dict[str, Tuple[Trace, Trace]]):

@@ -1,0 +1,65 @@
+"""Unified observability: structured events, metrics, phase tracing.
+
+One instrumentation surface for the whole Figure 1 pipeline
+(profile → reduce → synthesize → simulate) and the subsystems that
+drive it (fault-tolerant runner, design-space engine, CLI):
+
+* :mod:`repro.obs.events` — JSON-lines structured event log through a
+  stdlib-``logging`` adapter (human console + ``--log-json`` file sink);
+* :mod:`repro.obs.metrics` — process-wide registry of counters, gauges
+  and timing histograms, snapshotted into per-run ``metrics.json``;
+* :mod:`repro.obs.tracing` — nested ``trace_span`` phase timing feeding
+  both the registry and the event log;
+* :mod:`repro.obs.profiling` — optional cProfile dumps per work unit.
+
+See ``docs/observability.md`` for the event schema and metric catalog.
+"""
+
+from repro.obs.events import (
+    REQUIRED_FIELDS,
+    SCHEMA,
+    configure,
+    debug,
+    emit,
+    error,
+    info,
+    is_configured,
+    log_json_path,
+    new_run_id,
+    reset,
+    run_id,
+    warn,
+)
+from repro.obs.metrics import (
+    SNAPSHOT_SCHEMA,
+    Counter,
+    Gauge,
+    MetricsRegistry,
+    TimingHistogram,
+    get_registry,
+    record_simulation,
+    reset_registry,
+    set_registry,
+)
+from repro.obs.profiling import (
+    maybe_profiled,
+    profile_output_dir,
+    profiling_enabled,
+)
+from repro.obs.tracing import (
+    Span,
+    current_span,
+    phase_breakdown,
+    trace_span,
+)
+
+__all__ = [
+    "REQUIRED_FIELDS", "SCHEMA", "configure", "debug", "emit", "error",
+    "info", "is_configured", "log_json_path", "new_run_id", "reset",
+    "run_id", "warn",
+    "SNAPSHOT_SCHEMA", "Counter", "Gauge", "MetricsRegistry",
+    "TimingHistogram", "get_registry", "record_simulation",
+    "reset_registry", "set_registry",
+    "maybe_profiled", "profile_output_dir", "profiling_enabled",
+    "Span", "current_span", "phase_breakdown", "trace_span",
+]

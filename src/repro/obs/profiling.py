@@ -1,0 +1,68 @@
+"""Optional hot-path profiling: cProfile dumps per work unit.
+
+``repro ... --profile cprofile`` arms this hook; the fault-tolerant
+runner then wraps each work unit's callable so a ``pstats`` dump lands
+in the profile directory per unit (``<dir>/<unit_id>.pstats``), ready
+for ``python -m pstats`` or snakeviz-style viewers.  Profiling follows
+the unit into the timeout worker thread (cProfile is per-thread), and
+nested units — a design-space sweep inside an experiment unit — are
+guarded: only the outermost unit of a thread is profiled, because two
+active profilers in one thread corrupt each other's accounting.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.obs import events
+
+# Same character policy as repro.runner.checkpoint.sanitize_unit_id,
+# duplicated here because obs must stay importable below the runner.
+_UNSAFE = re.compile(r"[^A-Za-z0-9._=-]")
+
+_LOCAL = threading.local()
+
+
+def profiling_enabled() -> bool:
+    """Whether ``configure(profile="cprofile")`` armed the hook."""
+    return events.profile_mode() == "cprofile"
+
+
+def profile_output_dir() -> Path:
+    return events.profile_dir() or Path("profiles")
+
+
+def maybe_profiled(fn: Callable[[], Any], label: str) -> Callable[[], Any]:
+    """*fn* wrapped with a per-call cProfile dump, when armed.
+
+    Returns *fn* unchanged when profiling is off, so the hot path pays
+    nothing.  The wrapper is safe to call in any thread; re-entrant
+    calls in one thread (nested work units) run unprofiled.
+    """
+    if not profiling_enabled():
+        return fn
+
+    def wrapper() -> Any:
+        if getattr(_LOCAL, "active", False):
+            return fn()
+        import cProfile
+
+        profiler = cProfile.Profile()
+        _LOCAL.active = True
+        profiler.enable()
+        try:
+            return fn()
+        finally:
+            profiler.disable()
+            _LOCAL.active = False
+            directory = profile_output_dir()
+            directory.mkdir(parents=True, exist_ok=True)
+            path = directory / (_UNSAFE.sub("_", label) + ".pstats")
+            profiler.dump_stats(path)
+            events.emit("profile_dump", level="debug", label=label,
+                        path=str(path))
+
+    return wrapper

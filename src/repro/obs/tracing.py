@@ -1,0 +1,106 @@
+"""Phase tracing: nested wall-clock spans over the pipeline's phases.
+
+``with trace_span("profile", bench="gzip"):`` wraps one phase of the
+Figure 1 pipeline (profile → reduce → synthesize → simulate); on exit
+the span's elapsed time lands in the metrics registry as the
+``phase.<name>`` timing histogram and a ``span_end`` event goes to the
+structured log.  Spans nest (a ``reduce`` span inside ``synthesize``);
+the innermost active span contributes its phase/bench/seed fields to
+every event emitted inside it, so a ``unit_retry`` event knows which
+phase it interrupted without every call site threading context.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional
+
+from repro.obs import events
+from repro.obs.metrics import (
+    PHASE_PREFIX,
+    MetricsRegistry,
+    get_registry,
+)
+
+_LOCAL = threading.local()
+
+
+class Span:
+    """One active (or finished) phase span."""
+
+    __slots__ = ("phase", "fields", "started", "elapsed", "depth")
+
+    def __init__(self, phase: str, fields: Dict[str, Any],
+                 depth: int) -> None:
+        self.phase = phase
+        self.fields = fields
+        self.depth = depth
+        self.started = time.monotonic()
+        self.elapsed: Optional[float] = None
+
+
+def _stack() -> List[Span]:
+    stack = getattr(_LOCAL, "stack", None)
+    if stack is None:
+        stack = _LOCAL.stack = []
+    return stack
+
+
+def current_span() -> Optional[Span]:
+    """The innermost active span of this thread, or None."""
+    stack = _stack()
+    return stack[-1] if stack else None
+
+
+def _span_context() -> Dict[str, Any]:
+    """Ambient event fields from the active span (registered with the
+    event log at import time)."""
+    span = current_span()
+    if span is None:
+        return {}
+    context: Dict[str, Any] = {"phase": span.phase}
+    for key in ("bench", "seed"):
+        if key in span.fields:
+            context[key] = span.fields[key]
+    return context
+
+
+events.register_context_provider(_span_context)
+
+
+@contextmanager
+def trace_span(phase: str,
+               registry: Optional[MetricsRegistry] = None,
+               **fields: Any) -> Iterator[Span]:
+    """Time one pipeline phase; record it as histogram + events.
+
+    Timing uses the monotonic clock, so spans are immune to wall-clock
+    adjustments; a child span's elapsed time can never exceed its
+    parent's.
+    """
+    span = Span(phase, fields, depth=len(_stack()))
+    _stack().append(span)
+    events.emit("span_start", level="debug", depth=span.depth, **fields)
+    try:
+        yield span
+    finally:
+        span.elapsed = time.monotonic() - span.started
+        try:
+            # Emitted while the span is still on the stack, so the
+            # event self-identifies: its ``phase`` field is this span's.
+            events.emit("span_end", level="debug", depth=span.depth,
+                        elapsed=round(span.elapsed, 6), **fields)
+        finally:
+            stack = _stack()
+            if stack and stack[-1] is span:
+                stack.pop()
+            (registry or get_registry()).histogram(
+                PHASE_PREFIX + phase).observe(span.elapsed)
+
+
+def phase_breakdown(registry: Optional[MetricsRegistry] = None
+                    ) -> Dict[str, Dict[str, Any]]:
+    """Per-phase wall-clock summary: ``{phase: {count, total, ...}}``."""
+    return (registry or get_registry()).snapshot()["phases"]

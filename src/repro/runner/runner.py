@@ -44,6 +44,9 @@ from repro.errors import (
     TaskTimeoutError,
     is_retryable,
 )
+from repro.obs import events as obs_events
+from repro.obs.metrics import get_registry
+from repro.obs.profiling import maybe_profiled
 from repro.runner.checkpoint import CheckpointStore
 from repro.runner.faults import FaultPlan
 
@@ -258,14 +261,19 @@ class TaskRunner:
 
     def _call_with_timeout(self, fn: Callable[[WorkUnit], Any],
                            unit: WorkUnit) -> Any:
-        return call_with_timeout(lambda: fn(unit), self.policy.timeout,
-                                 unit.unit_id)
+        return call_with_timeout(
+            maybe_profiled(lambda: fn(unit), unit.unit_id),
+            self.policy.timeout, unit.unit_id)
 
     def _attempt_loop(self, fn: Callable[[WorkUnit], Any],
                       unit: WorkUnit) -> UnitOutcome:
         policy = self.policy
+        registry = get_registry()
         attempt = 0
         started = time.perf_counter()
+        obs_events.emit("unit_start", level="debug",
+                        unit=unit.unit_id, benchmark=unit.benchmark,
+                        seed=unit.seed)
         while True:
             attempt += 1
             try:
@@ -274,25 +282,57 @@ class TaskRunner:
                                            attempt)
                 result = self._call_with_timeout(fn, unit)
             except Exception as exc:  # noqa: BLE001 — containment
+                if isinstance(exc, TaskTimeoutError):
+                    registry.counter("runner.timeouts").inc()
+                    obs_events.emit("unit_timeout", level="warning",
+                                    unit=unit.unit_id,
+                                    benchmark=unit.benchmark,
+                                    attempt=attempt,
+                                    timeout=policy.timeout)
                 if is_retryable(exc) and attempt <= policy.max_retries:
                     delay = policy.backoff(attempt)
-                    self.log(f"{unit.unit_id}: attempt {attempt} failed "
-                             f"({type(exc).__name__}: {exc}); retrying "
-                             f"in {delay:g}s")
+                    registry.counter("runner.retries").inc()
+                    message = (f"{unit.unit_id}: attempt {attempt} "
+                               f"failed ({type(exc).__name__}: {exc}); "
+                               f"retrying in {delay:g}s")
+                    obs_events.emit("unit_retry", msg=message,
+                                    level="warning",
+                                    unit=unit.unit_id,
+                                    benchmark=unit.benchmark,
+                                    attempt=attempt,
+                                    error=type(exc).__name__,
+                                    backoff=delay)
+                    self.log(message)
                     if delay > 0:
                         time.sleep(delay)
                     continue
                 self._last_error = exc
+                elapsed = time.perf_counter() - started
+                registry.counter("runner.units_failed").inc()
+                registry.histogram("runner.unit_seconds").observe(elapsed)
+                obs_events.emit("unit_failed", level="warning",
+                                unit=unit.unit_id,
+                                benchmark=unit.benchmark,
+                                attempts=attempt,
+                                error=type(exc).__name__,
+                                message=str(exc),
+                                elapsed=round(elapsed, 6))
                 return UnitOutcome(
                     unit_id=unit.unit_id, status=FAILED,
                     benchmark=unit.benchmark, seed=unit.seed,
                     error=_error_info(exc), attempts=attempt,
-                    elapsed=time.perf_counter() - started)
+                    elapsed=elapsed)
+            elapsed = time.perf_counter() - started
+            registry.counter("runner.units_ok").inc()
+            registry.histogram("runner.unit_seconds").observe(elapsed)
+            obs_events.emit("unit_ok", level="debug",
+                            unit=unit.unit_id, benchmark=unit.benchmark,
+                            attempts=attempt, elapsed=round(elapsed, 6))
             return UnitOutcome(
                 unit_id=unit.unit_id, status=OK,
                 benchmark=unit.benchmark, seed=unit.seed,
                 result=result, attempts=attempt,
-                elapsed=time.perf_counter() - started)
+                elapsed=elapsed)
 
     def _resume_outcome(self, unit: WorkUnit) -> Optional[UnitOutcome]:
         """A SKIPPED outcome when the unit already completed in a
@@ -302,12 +342,21 @@ class TaskRunner:
         try:
             payload = self.store.load(unit.unit_id)
         except ArtifactCorruptError as exc:
-            self.log(f"{unit.unit_id}: discarding corrupt checkpoint "
-                     f"({exc}); re-running")
+            message = (f"{unit.unit_id}: discarding corrupt checkpoint "
+                       f"({exc}); re-running")
+            obs_events.emit("checkpoint_corrupt", msg=message,
+                            level="warning", unit=unit.unit_id,
+                            benchmark=unit.benchmark)
+            self.log(message)
             self.store.discard(unit.unit_id)
             return None
         if payload is None or payload.get("status") != OK:
             return None  # missing or failed units re-run
+        get_registry().counter("runner.units_resumed").inc()
+        obs_events.emit("unit_resumed",
+                        msg=f"{unit.unit_id}: resumed from checkpoint",
+                        level="info",
+                        unit=unit.unit_id, benchmark=unit.benchmark)
         return UnitOutcome(
             unit_id=unit.unit_id, status=SKIPPED,
             benchmark=unit.benchmark, seed=unit.seed,
@@ -346,6 +395,15 @@ class TaskRunner:
                 self.log(f"{unit.unit_id}: resumed from checkpoint")
             report.outcomes.append(outcome)
         self.last_report = report
+        obs_events.emit("runner_summary", level="debug",
+                        units=len(report.outcomes),
+                        ok=len(report.ok), failed=len(report.failed),
+                        skipped=len(report.skipped))
+        if self.store is not None:
+            # The per-run observability manifest lives alongside the
+            # checkpoints, so a crashed or resumed run keeps its
+            # wall-clock breakdown and counters on disk.
+            get_registry().write(self.store.run_dir / "metrics.json")
         if (self.raise_on_total_failure and report.outcomes
                 and len(report.failed) == len(report.outcomes)
                 and self._last_error is not None):

@@ -41,3 +41,43 @@ class TestDerivedMetrics:
         assert result.occupancy("ifq") == 5.0
         with pytest.raises(ValueError):
             result.occupancy("rob")
+
+
+class TestMetricsView:
+    def test_occupancies_mapping(self):
+        assert _result().occupancies == \
+            {"ruu": 10.0, "lsq": 3.0, "ifq": 5.0}
+
+    def test_to_metrics_flat_names(self):
+        result = _result(branch_mispredictions=2,
+                         squashed_instructions=9,
+                         activity={"ialu": 80, "l1d": 25})
+        metrics = result.to_metrics()
+        assert metrics["pipeline.ipc"] == pytest.approx(1.5)
+        assert metrics["pipeline.ruu_occupancy"] == 10.0
+        assert metrics["pipeline.lsq_occupancy"] == 3.0
+        assert metrics["pipeline.ifq_occupancy"] == 5.0
+        assert metrics["pipeline.branch_mispredictions"] == 2.0
+        assert metrics["pipeline.squashed_instructions"] == 9.0
+        assert metrics["pipeline.activity.ialu"] == 80.0
+        assert metrics["pipeline.activity.l1d"] == 25.0
+
+    def test_pipeline_run_publishes_to_registry(self, tiny_trace,
+                                                config):
+        """An actual pipeline run lands its occupancies and counters in
+        the process-wide registry."""
+        from repro.core.framework import run_execution_driven
+        from repro.obs.metrics import MetricsRegistry, set_registry
+
+        registry = MetricsRegistry()
+        previous = set_registry(registry)
+        try:
+            result, _power = run_execution_driven(tiny_trace, config)
+        finally:
+            set_registry(previous)
+        snap = registry.snapshot()
+        assert snap["counters"]["pipeline.runs"] == 1
+        assert snap["counters"]["pipeline.cycles"] == result.cycles
+        assert snap["gauges"]["pipeline.ruu_occupancy"] == \
+            pytest.approx(result.avg_ruu_occupancy)
+        assert snap["phases"]["simulate"]["count"] == 1
