@@ -1,0 +1,44 @@
+"""Hot-path micro-benchmark harness (``pytest benchmarks/perf -s``).
+
+Runs the quick before/after bench once and asserts the contract the
+CI perf-smoke job enforces: valid schema, byte-identical draws from
+the optimized generator, cycle-identical pipeline results, and no
+phase more than the tolerance below the pinned baseline.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.bench import check_regression, run_hotpath_bench, validate_payload
+
+BASELINE = Path(__file__).with_name("BASELINE_hotpath.json")
+
+
+@pytest.fixture(scope="module")
+def payload():
+    return run_hotpath_bench(quick=True, log=print)
+
+
+def test_schema_valid(payload):
+    assert validate_payload(payload) == []
+
+
+def test_draws_and_results_identical(payload):
+    assert payload["draw_stable"]
+    assert payload["phases"]["pipeline"]["results_identical"]
+
+
+def test_no_regression_against_baseline(payload):
+    baseline = json.loads(BASELINE.read_text())
+    failures = check_regression(payload, baseline, tolerance=0.15)
+    assert failures == [], "\n".join(failures)
+
+
+def test_speedups_reported(payload):
+    print("\nspeedups: " + ", ".join(
+        f"{name} {value:.2f}x"
+        for name, value in sorted(payload["speedups"].items())))
+    for value in payload["speedups"].values():
+        assert value > 0

@@ -1,0 +1,25 @@
+"""Hot-path micro-benchmarks (``repro bench``).
+
+:mod:`repro.bench.legacy` preserves the pre-overhaul implementations of
+the three hot phases (profile, synthesize, simulate) so speedups are
+measured against real executable code rather than a remembered number;
+:mod:`repro.bench.hotpath` runs before/after timings of each phase and
+writes the ``BENCH_hotpath.json`` payload that CI tracks for
+regressions.
+"""
+
+from repro.bench.hotpath import (
+    BENCH_SCHEMA,
+    check_regression,
+    run_hotpath_bench,
+    validate_payload,
+    write_bench,
+)
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "check_regression",
+    "run_hotpath_bench",
+    "validate_payload",
+    "write_bench",
+]

@@ -10,7 +10,9 @@ Commands mirror the paper's workflow:
   report its composition;
 * ``experiment`` — regenerate one of the paper's tables/figures;
 * ``dse`` — run a parallel, cached design-space sweep (the section 4.6
-  protocol as a first-class subsystem; see ``docs/design_space.md``).
+  protocol as a first-class subsystem; see ``docs/design_space.md``);
+* ``bench`` — time the hot paths before/after the performance overhaul
+  and write ``BENCH_hotpath.json`` (see ``docs/performance.md``).
 """
 
 from __future__ import annotations
@@ -247,6 +249,37 @@ def _build_parser() -> argparse.ArgumentParser:
         help="instead of one sweep, time serial vs --jobs parallel vs "
              "warm-cache re-run and write the machine-readable "
              "benchmark to this path")
+
+    bench = sub.add_parser(
+        "bench", parents=[obs_parent],
+        help="hot-path micro-benchmark: before/after timings of "
+             "profiling, synthesis and superscalar simulation")
+    bench.add_argument("--benchmark", default="gzip",
+                       help="workload to time (default: gzip, the "
+                            "determinism-golden workload)")
+    mode = bench.add_mutually_exclusive_group()
+    mode.add_argument("--quick", action="store_true",
+                      help="CI-sized repeat counts (the default; named "
+                           "so scripts can say what they mean)")
+    mode.add_argument("--full", action="store_true",
+                      help="longer repeat counts for stable "
+                           "single-percent numbers (default: quick, "
+                           "CI-sized)")
+    bench.add_argument("-o", "--output", default="BENCH_hotpath.json",
+                       help="where the payload lands (default: "
+                            "BENCH_hotpath.json)")
+    bench.add_argument("--baseline", default=None,
+                       metavar="BASELINE.json",
+                       help="pinned speedups to compare against "
+                            "(benchmarks/perf/BASELINE_hotpath.json)")
+    bench.add_argument("--check", action="store_true",
+                       help="exit non-zero when the payload fails "
+                            "schema validation or a phase's speedup "
+                            "falls more than --tolerance below the "
+                            "baseline")
+    bench.add_argument("--tolerance", type=_positive_float, default=0.15,
+                       help="allowed fractional slack below the pinned "
+                            "baseline speedups (default: 0.15)")
 
     analyze = sub.add_parser(
         "analyze", parents=[obs_parent],
@@ -496,6 +529,48 @@ def _cmd_dse(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.bench import (check_regression, run_hotpath_bench,
+                             validate_payload, write_bench)
+    from repro.workloads.spec import benchmark_names
+
+    if args.benchmark not in benchmark_names():
+        obs.error(f"unknown benchmark {args.benchmark!r}; run "
+                  f"'repro benchmarks' for the suite", event="cli_error")
+        return 2
+
+    payload = run_hotpath_bench(benchmark=args.benchmark,
+                                quick=not args.full, log=obs.info)
+    write_bench(payload, args.output)
+    speedups = payload["speedups"]
+    print(f"{args.benchmark}: profile {speedups['profile']:.2f}x, "
+          f"synthesis {speedups['synthesis']:.2f}x (R=1000) / "
+          f"{speedups['synthesis_low_r']:.2f}x (low R), "
+          f"pipeline {speedups['pipeline']:.2f}x; "
+          f"draw-stable: {payload['draw_stable']}")
+    print(f"benchmark written to {args.output}")
+
+    report = obs.error if args.check else obs.warn
+    problems = validate_payload(payload)
+    for problem in problems:
+        report(f"schema: {problem}", event="bench_schema")
+    failures = []
+    if args.baseline:
+        baseline = json.loads(Path(args.baseline).read_text())
+        failures = check_regression(payload, baseline,
+                                    tolerance=args.tolerance)
+        for failure in failures:
+            report(f"regression: {failure}", event="bench_regression")
+        if not failures:
+            print(f"no regression against {args.baseline} "
+                  f"(tolerance {args.tolerance:.0%})")
+    if args.check and (problems or failures):
+        return 1
+    return 0
+
+
 def _cmd_analyze(args: argparse.Namespace) -> int:
     from repro.core.analysis import (hottest_contexts,
                                      reduced_connectivity,
@@ -616,6 +691,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_experiment(args)
     if args.command == "dse":
         return _cmd_dse(args)
+    if args.command == "bench":
+        return _cmd_bench(args)
     if args.command == "analyze":
         return _cmd_analyze(args)
     if args.command == "validate":

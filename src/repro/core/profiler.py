@@ -131,75 +131,140 @@ def _profile_trace(trace: Trace, config: MachineConfig, order: int = 1,
     )
 
     history: List[int] = [START_BLOCK] * order
+    history_key = tuple(history)
     last_writer: Dict[int, int] = {}
     last_reader: Dict[int, int] = {}
+    lw_get = last_writer.get
+    lr_get = last_reader.get
+    records_get = branch_records.get
+    sfg_transitions = sfg.transitions
+    cap = MAX_DEPENDENCY_DISTANCE
 
-    # Buffered events for the block currently being executed.
+    # Reusable context-key cache: one entry per k-block history holding
+    # the transition counts plus, per next block, the ContextStats and
+    # its array-backed distance accumulators.  The hot loop then charges
+    # a block occurrence with two dict hits instead of rebuilding the
+    # context tuple and per-slot iclass/operand lists every time; the
+    # growable arrays turn each distance record into one list index
+    # instead of a dict get+set, and are folded into the ContextStats
+    # histograms once at the end.
+    hist_cache: Dict[tuple, tuple] = {}
+
+    # Buffered state for the block currently being executed: its
+    # instructions, and the (sparse) slots that saw locality events.
     block_insts: list = []
-    block_events: list = []  # per slot: (il1, l2i, itlb, dl1, l2d, dtlb)
+    block_append = block_insts.append
+    block_events: list = []  # (slot, il1, l2i, itlb, dl1, l2d, dtlb)
+    events_append = block_events.append
 
     for inst in trace.instructions:
-        il1 = l2i = itlb = dl1 = dl2 = dtlb = False
         if hierarchy is not None:
             iresult = hierarchy.access_instruction(inst.pc)
-            il1, l2i, itlb = (iresult.il1_miss, iresult.l2_miss,
-                              iresult.itlb_miss)
+            il1 = iresult.il1_miss
+            l2i = iresult.l2_miss
+            itlb = iresult.itlb_miss
+            dl1 = dl2 = dtlb = False
             if inst.mem_addr is not None:
                 dresult = hierarchy.access_data(inst.mem_addr,
                                                 is_store=inst.is_store)
                 if inst.is_load:
-                    dl1, dl2, dtlb = (dresult.dl1_miss, dresult.l2_miss,
-                                      dresult.dtlb_miss)
-        block_insts.append(inst)
-        block_events.append((il1, l2i, itlb, dl1, dl2, dtlb))
+                    dl1 = dresult.dl1_miss
+                    dl2 = dresult.l2_miss
+                    dtlb = dresult.dtlb_miss
+            if il1 or l2i or itlb or dl1 or dl2 or dtlb:
+                events_append((len(block_insts), il1, l2i, itlb,
+                               dl1, dl2, dtlb))
+        block_append(inst)
 
         if not inst.is_branch:
             continue
 
         # Block complete: attribute everything to its context.
         block = inst.bb_id
-        stats = sfg.context_for(
-            history, block,
-            iclasses=[i.iclass for i in block_insts],
-            n_src=[len(i.src_regs) for i in block_insts],
-        )
+        entry = hist_cache.get(history_key)
+        if entry is None:
+            counts = sfg_transitions.get(history_key)
+            if counts is None:
+                counts = {}
+                sfg_transitions[history_key] = counts
+            entry = ({}, counts)
+            hist_cache[history_key] = entry
+        blocks, counts = entry
+        cached = blocks.get(block)
+        if cached is None:
+            stats = sfg.context_for(
+                history_key, block,
+                iclasses=[i.iclass for i in block_insts],
+                n_src=[len(i.src_regs) for i in block_insts],
+            )
+            cached = (
+                stats,
+                [[[] for _ in range(n)] for n in stats.n_src],
+                [[] for _ in stats.n_src],  # WAW, per producing slot
+                [[] for _ in stats.n_src],  # WAR
+            )
+            blocks[block] = cached
+        elif cached[0].block_size != len(block_insts):
+            raise ValueError(
+                f"context {history_key + (block,)} re-observed with a "
+                f"different block size"
+            )
+        stats, raw_arrays, waw_arrays, war_arrays = cached
         stats.occurrences += 1
         sfg.total_block_executions += 1
-        sfg.record_transition(history, block)
+        counts[block] = counts.get(block, 0) + 1
 
-        for slot, (binst, events) in enumerate(zip(block_insts,
-                                                   block_events)):
-            e_il1, e_l2i, e_itlb, e_dl1, e_l2d, e_dtlb = events
-            stats.il1[slot] += e_il1
-            stats.l2i[slot] += e_l2i
-            stats.itlb[slot] += e_itlb
-            stats.dl1[slot] += e_dl1
-            stats.l2d[slot] += e_l2d
-            stats.dtlb[slot] += e_dtlb
-            for operand, reg in enumerate(binst.src_regs):
-                writer = last_writer.get(reg)
-                if writer is not None:
-                    distance = binst.seq - writer
-                    if 0 < distance <= MAX_DEPENDENCY_DISTANCE:
-                        stats.record_dependency(slot, operand, distance)
-                last_reader[reg] = binst.seq
-            if binst.dst_reg is not None:
+        if block_events:
+            for slot, e_il1, e_l2i, e_itlb, e_dl1, e_l2d, e_dtlb \
+                    in block_events:
+                stats.il1[slot] += e_il1
+                stats.l2i[slot] += e_l2i
+                stats.itlb[slot] += e_itlb
+                stats.dl1[slot] += e_dl1
+                stats.l2d[slot] += e_l2d
+                stats.dtlb[slot] += e_dtlb
+            block_events.clear()
+
+        for slot, binst in enumerate(block_insts):
+            seq = binst.seq
+            src_regs = binst.src_regs
+            if src_regs:
+                operand_arrays = raw_arrays[slot]
+                for operand, reg in enumerate(src_regs):
+                    writer = lw_get(reg)
+                    if writer is not None:
+                        distance = seq - writer
+                        if 0 < distance <= cap:
+                            arr = operand_arrays[operand]
+                            if distance >= len(arr):
+                                arr.extend(
+                                    [0] * (distance + 1 - len(arr)))
+                            arr[distance] += 1
+                    last_reader[reg] = seq
+            dst = binst.dst_reg
+            if dst is not None:
                 # WAW/WAR distances (section 2.1.1 extension); recorded
                 # alongside RAW, consumed only when synthesis is asked
                 # to model machines without full renaming.
-                previous_writer = last_writer.get(binst.dst_reg)
+                previous_writer = lw_get(dst)
                 if previous_writer is not None:
-                    distance = binst.seq - previous_writer
-                    if 0 < distance <= MAX_DEPENDENCY_DISTANCE:
-                        stats.record_anti_dependency(slot, "waw", distance)
-                previous_reader = last_reader.get(binst.dst_reg)
+                    distance = seq - previous_writer
+                    if 0 < distance <= cap:
+                        arr = waw_arrays[slot]
+                        if distance >= len(arr):
+                            arr.extend([0] * (distance + 1 - len(arr)))
+                        arr[distance] += 1
+                previous_reader = lr_get(dst)
                 if previous_reader is not None:
-                    distance = binst.seq - previous_reader
-                    if 0 < distance <= MAX_DEPENDENCY_DISTANCE:
-                        stats.record_anti_dependency(slot, "war", distance)
-                last_writer[binst.dst_reg] = binst.seq
+                    distance = seq - previous_reader
+                    if 0 < distance <= cap:
+                        arr = war_arrays[slot]
+                        if distance >= len(arr):
+                            arr.extend([0] * (distance + 1 - len(arr)))
+                        arr[distance] += 1
+                last_writer[dst] = seq
 
-        record = branch_records.get(inst.seq)
+        record = records_get(inst.seq)
         if record is not None:
             stats.taken += record.taken
             stats.outcome_counts[record.outcome] += 1
@@ -207,8 +272,28 @@ def _profile_trace(trace: Trace, config: MachineConfig, order: int = 1,
         if order > 0:
             history.append(block)
             del history[0]
-        block_insts = []
-        block_events = []
+            history_key = tuple(history)
+        block_insts.clear()
+
+    # Fold the array accumulators into the per-context histograms.
+    for blocks, _counts in hist_cache.values():
+        for stats, raw_arrays, waw_arrays, war_arrays in blocks.values():
+            dep_hists = stats.dep_hists
+            for slot, operand_arrays in enumerate(raw_arrays):
+                for operand, arr in enumerate(operand_arrays):
+                    if arr:
+                        hist = dep_hists[slot][operand]
+                        for distance, count in enumerate(arr):
+                            if count:
+                                hist[distance] = count
+            for arrays, hists in ((waw_arrays, stats.waw_hists),
+                                  (war_arrays, stats.war_hists)):
+                for slot, arr in enumerate(arrays):
+                    if arr:
+                        hist = hists[slot]
+                        for distance, count in enumerate(arr):
+                            if count:
+                                hist[distance] = count
 
     # A trailing partial block (trace ended mid-block) is discarded.
     return StatisticalProfile(

@@ -21,11 +21,20 @@ The stage structure follows sim-outorder (the paper's simulator):
   from the RUU head.
 
 Per-cycle occupancies and per-unit activity counts feed the power model.
+
+This is the event-driven implementation (see ``docs/performance.md``):
+after any cycle in which no stage did work, the clock fast-forwards to
+the next scheduled event (earliest functional-unit completion, fetch
+unblock, or IFQ-head decode readiness) and the skipped idle cycles are
+accounted analytically.  ``_Inflight`` records are pooled, and the RUU
+and IFQ are index-based ring buffers instead of deques.  The results
+are cycle-for-cycle identical to the strictly iterative loop preserved
+in :mod:`repro.cpu.reference`, which
+``tests/test_pipeline_equivalence.py`` enforces exactly.
 """
 
 from __future__ import annotations
 
-from collections import deque
 from heapq import heappop, heappush
 from typing import Dict, List, Optional
 
@@ -35,18 +44,29 @@ from repro.obs.metrics import record_simulation
 from repro.isa.iclass import FunctionalUnit
 from repro.branch.unit import BranchOutcome
 from repro.cpu.results import SimulationResult
-from repro.cpu.source import FetchSlot, InstructionSource
+from repro.cpu.source import (FetchSlot, InstructionSource,
+                              PreannotatedSource, _FILLER_CACHE,
+                              _filler_slot)
 
 #: Dependency-resolution window (matches the profile's distance cap).
 _HISTORY = 512
 
 
 class _Inflight:
-    """Book-keeping for one instruction in the pipeline."""
+    """Book-keeping for one instruction in the pipeline.
+
+    Instances are pooled: a record is recycled once nothing can
+    reference it again — at commit (after its history slot, waiter list
+    and store-forwarding pointer are cleared) or when the IFQ is
+    squashed before the instruction ever dispatched.  Squashed RUU
+    instructions are *not* recycled; they may still sit in the ready
+    heap or a completion bucket, where the ``squashed`` flag keeps them
+    inert.
+    """
 
     __slots__ = ("slot", "pseq", "pending", "waiters", "completed",
                  "squashed", "recover", "wrong_path", "is_mem",
-                 "decode_ready", "issued")
+                 "decode_ready", "issued", "hist_slot")
 
     def __init__(self, slot: FetchSlot, pseq: int, wrong_path: bool) -> None:
         self.slot = slot
@@ -59,7 +79,8 @@ class _Inflight:
         self.squashed = False
         self.recover = False
         self.wrong_path = wrong_path
-        self.is_mem = slot.is_load or slot.is_store
+        self.is_mem = slot.is_mem
+        self.hist_slot = -1
 
 
 class SuperscalarPipeline:
@@ -96,22 +117,66 @@ class SuperscalarPipeline:
         frontend_depth = config.frontend_depth
         in_order = config.in_order_issue
         conservative_loads = config.conservative_loads
+        source_fetch = source.fetch
+        source_peek_filler = source.peek_filler
+        source_on_dispatch = source.on_dispatch
+        # Fast path for the statistical simulator: a PreannotatedSource
+        # is a plain replay buffer with no locality state, so fetch and
+        # wrong-path peeking inline to a list index (its cursor is
+        # written back on every exit).  Execution-driven sources keep
+        # the method calls — their fetch runs caches and a predictor.
+        if isinstance(source, PreannotatedSource):
+            pre_slots = source._slots
+            pre_len = len(pre_slots)
+            pre_pos = source._pos
+        else:
+            pre_slots = None
+            pre_len = pre_pos = 0
+        filler_cache_get = _FILLER_CACHE.get
+        heap_push = heappush
+        heap_pop = heappop
         last_store: Optional[_Inflight] = None
-        fu_capacity: Dict[FunctionalUnit, int] = {
-            FunctionalUnit.INT_ALU: config.int_alus,
-            FunctionalUnit.LOAD_STORE: config.load_store_units,
-            FunctionalUnit.FP_ADDER: config.fp_adders,
-            FunctionalUnit.INT_MULT_DIV: config.int_mult_divs,
-            FunctionalUnit.FP_MULT_DIV: config.fp_mult_divs,
-        }
+        # FU pools indexed by FunctionalUnit value (an IntEnum); the
+        # FetchSlot precomputes ``fu_index`` so the issue stage indexes
+        # plain lists instead of hashing enum keys.
+        fu_caps: List[int] = [0] * len(FunctionalUnit)
+        fu_caps[FunctionalUnit.INT_ALU] = config.int_alus
+        fu_caps[FunctionalUnit.LOAD_STORE] = config.load_store_units
+        fu_caps[FunctionalUnit.FP_ADDER] = config.fp_adders
+        fu_caps[FunctionalUnit.INT_MULT_DIV] = config.int_mult_divs
+        fu_caps[FunctionalUnit.FP_MULT_DIV] = config.fp_mult_divs
+        fu_counts: List[int] = [0] * len(FunctionalUnit)
 
-        ifq: deque = deque()
-        ruu: deque = deque()
-        ready: list = []  # heap of (pseq, _Inflight)
+        # Index-based ring buffers: the RUU and IFQ have hard capacity
+        # bounds, so a fixed list with head/count cursors replaces the
+        # deque (no per-cycle allocation, O(1) everything).
+        ruu_buf: List[Optional[_Inflight]] = [None] * ruu_size
+        ruu_head = 0
+        ruu_count = 0
+        ifq_buf: List[Optional[_Inflight]] = [None] * ifq_size
+        ifq_head = 0
+        ifq_count = 0
+
+        # Ready queue, split by arrival order.  Instructions that are
+        # data-ready at dispatch arrive in strictly increasing pseq
+        # (dispatch drains the in-order IFQ and pseq never rewinds), so
+        # a plain FIFO list holds them with no heap discipline at all.
+        # Only writeback wakeups (arbitrary order) and FU-contention
+        # deferrals go through a real heap; issue pops the global
+        # pseq-minimum across both, which preserves oldest-first issue
+        # exactly.
+        rq_fifo: List[_Inflight] = []
+        rq_head = 0
+        rq_heap: list = []  # heap of (pseq, _Inflight)
         completing: Dict[int, List[_Inflight]] = {}
+        event_times: list = []  # heap of completion cycles (one per key)
         history: List[Optional[_Inflight]] = [None] * _HISTORY
+        hist_pos = 0
         dispatch_count = 0
         lsq_count = 0
+        free: List[_Inflight] = []  # recycled _Inflight records
+        free_pop = free.pop
+        free_append = free.append
 
         cycle = 0
         fetch_block_until = 0
@@ -127,19 +192,8 @@ class SuperscalarPipeline:
         ifq_occupancy_sum = 0
         squashed_total = 0
         branches = taken_branches = redirections = mispredictions = 0
-        activity = {
-            "fetch": 0, "dispatch": 0, "issue": 0, "commit": 0,
-            "bpred": 0, "il1": 0, "dl1": 0, "l2": 0,
-            "int_alu": 0, "load_store": 0, "fp_adder": 0,
-            "int_mult_div": 0, "fp_mult_div": 0,
-        }
-        fu_activity_key = {
-            FunctionalUnit.INT_ALU: "int_alu",
-            FunctionalUnit.LOAD_STORE: "load_store",
-            FunctionalUnit.FP_ADDER: "fp_adder",
-            FunctionalUnit.INT_MULT_DIV: "int_mult_div",
-            FunctionalUnit.FP_MULT_DIV: "fp_mult_div",
-        }
+        act_fetch = act_dispatch = act_issue = act_commit = 0
+        act_bpred = act_il1 = act_dl1 = act_l2 = 0
 
         if max_cycles is None:
             source_len = len(source) if hasattr(source, "__len__") else 0
@@ -148,44 +202,92 @@ class SuperscalarPipeline:
         while True:
             # ---------------------------------------------------- commit
             retired = 0
-            while ruu and retired < commit_width:
-                head = ruu[0]
+            while ruu_count and retired < commit_width:
+                head = ruu_buf[ruu_head]
                 if not head.completed:
                     break
-                ruu.popleft()
+                # The vacated slot is not cleared: ring entries beyond
+                # ``count`` are never read, only overwritten.
+                ruu_head += 1
+                if ruu_head == ruu_size:
+                    ruu_head = 0
+                ruu_count -= 1
                 if head.is_mem:
                     lsq_count -= 1
-                committed += 1
                 retired += 1
-            activity["commit"] += retired
+                # Recycle: a committed record is inert everywhere it
+                # may still appear (completed=True short-circuits the
+                # dependency paths), so clearing those references and
+                # pooling it is behaviour-preserving.  hist_slot is
+                # always valid here: commit implies dispatch, which
+                # assigned it.
+                slot_index = head.hist_slot
+                if history[slot_index] is head:
+                    history[slot_index] = None
+                if head.waiters:
+                    head.waiters.clear()
+                if last_store is head:
+                    last_store = None
+                free_append(head)
+            act_commit += retired
+            committed += retired
 
             # ------------------------------------------------- writeback
-            done = completing.pop(cycle, None)
-            if done:
+            # ``event_times`` and ``completing`` move in lockstep: a
+            # cycle is pushed exactly when its bucket is created and
+            # popped exactly when it is drained, so the heap top tells
+            # whether anything completes this cycle without touching
+            # the dict.
+            if event_times and event_times[0] == cycle:
+                heap_pop(event_times)
+                done = completing.pop(cycle)
                 for inst in done:
                     if inst.squashed:
                         continue
                     inst.completed = True
-                    for waiter in inst.waiters:
-                        if waiter.squashed:
-                            continue
-                        waiter.pending -= 1
-                        if waiter.pending == 0:
-                            heappush(ready, (waiter.pseq, waiter))
+                    waiters = inst.waiters
+                    if waiters:
+                        for waiter in waiters:
+                            if waiter.squashed:
+                                continue
+                            waiter.pending -= 1
+                            if waiter.pending == 0:
+                                heap_push(rq_heap, (waiter.pseq, waiter))
                     if inst.recover:
                         # Mispredicted branch resolves: squash younger.
-                        while ruu and ruu[-1].pseq > inst.pseq:
-                            victim = ruu.pop()
+                        pseq_limit = inst.pseq
+                        while ruu_count:
+                            tail = ruu_head + ruu_count - 1
+                            if tail >= ruu_size:
+                                tail -= ruu_size
+                            victim = ruu_buf[tail]
+                            if victim.pseq <= pseq_limit:
+                                break
+                            ruu_buf[tail] = None
+                            ruu_count -= 1
                             victim.squashed = True
                             if victim.is_mem:
                                 lsq_count -= 1
                             squashed_total += 1
-                        squashed_total += len(ifq)
-                        ifq.clear()
+                        squashed_total += ifq_count
+                        index = ifq_head
+                        for _ in range(ifq_count):
+                            junk = ifq_buf[index]
+                            ifq_buf[index] = None
+                            index += 1
+                            if index == ifq_size:
+                                index = 0
+                            # Never dispatched: nothing references it.
+                            free_append(junk)
+                        ifq_head = 0
+                        ifq_count = 0
                         episode = None
                         filler_offset = 0
-                        fetch_block_until = max(
-                            fetch_block_until, cycle + mispredict_penalty)
+                        if cycle + mispredict_penalty > fetch_block_until:
+                            fetch_block_until = cycle + mispredict_penalty
+                worked = True
+            else:
+                worked = retired > 0
 
             # ----------------------------------------------------- issue
             if in_order:
@@ -193,71 +295,125 @@ class SuperscalarPipeline:
                 # units strictly in program order; the first stalled
                 # instruction blocks all younger ones.
                 issued = 0
-                fu_free = dict(fu_capacity)
-                for inst in ruu:
+                fu_free = fu_caps[:]
+                index = ruu_head
+                for _ in range(ruu_count):
+                    inst = ruu_buf[index]
+                    index += 1
+                    if index == ruu_size:
+                        index = 0
                     if issued >= issue_width:
                         break
                     if inst.issued:
                         continue
-                    fu = inst.slot.fu
-                    if inst.pending > 0 or fu_free[fu] <= 0:
+                    slot = inst.slot
+                    fi = slot.fu_index
+                    if inst.pending > 0 or fu_free[fi] <= 0:
                         break
-                    fu_free[fu] -= 1
+                    fu_free[fi] -= 1
                     inst.issued = True
                     issued += 1
-                    activity[fu_activity_key[fu]] += 1
-                    finish = cycle + inst.slot.exec_latency
-                    completing.setdefault(finish, []).append(inst)
-                activity["issue"] += issued
-            elif ready:
-                fu_free = dict(fu_capacity)
+                    fu_counts[fi] += 1
+                    finish = cycle + slot.exec_latency
+                    bucket = completing.get(finish)
+                    if bucket is None:
+                        completing[finish] = [inst]
+                        heap_push(event_times, finish)
+                    else:
+                        bucket.append(inst)
+                act_issue += issued
+                if issued:
+                    worked = True
+            elif rq_heap or rq_head < len(rq_fifo):
+                fu_free = fu_caps[:]
                 issued = 0
                 deferred = []
-                while ready and issued < issue_width and len(deferred) < 64:
-                    pseq, inst = heappop(ready)
+                n_deferred = 0
+                rq_tail = len(rq_fifo)
+                while issued < issue_width and n_deferred < 64:
+                    # Pop the lowest pseq across the FIFO and the heap.
+                    if rq_head < rq_tail:
+                        inst = rq_fifo[rq_head]
+                        if rq_heap and rq_heap[0][0] < inst.pseq:
+                            inst = heap_pop(rq_heap)[1]
+                        else:
+                            rq_head += 1
+                    elif rq_heap:
+                        inst = heap_pop(rq_heap)[1]
+                    else:
+                        break
                     if inst.squashed:
                         continue
-                    fu = inst.slot.fu
-                    if fu_free[fu] > 0:
-                        fu_free[fu] -= 1
+                    slot = inst.slot
+                    fi = slot.fu_index
+                    if fu_free[fi] > 0:
+                        fu_free[fi] -= 1
                         inst.issued = True
                         issued += 1
-                        activity[fu_activity_key[fu]] += 1
-                        finish = cycle + inst.slot.exec_latency
-                        completing.setdefault(finish, []).append(inst)
+                        fu_counts[fi] += 1
+                        finish = cycle + slot.exec_latency
+                        bucket = completing.get(finish)
+                        if bucket is None:
+                            completing[finish] = [inst]
+                            heap_push(event_times, finish)
+                        else:
+                            bucket.append(inst)
                     else:
-                        deferred.append((pseq, inst))
+                        deferred.append((inst.pseq, inst))
+                        n_deferred += 1
+                # Deferred instructions re-enter via the heap after the
+                # scan (never mid-scan: each blocked instruction must be
+                # passed over exactly once per cycle, as the reference
+                # loop does).
                 for item in deferred:
-                    heappush(ready, item)
-                activity["issue"] += issued
+                    heap_push(rq_heap, item)
+                if rq_head == rq_tail and rq_head:
+                    del rq_fifo[:rq_head]
+                    rq_head = 0
+                act_issue += issued
+                if issued:
+                    worked = True
 
             # -------------------------------------------------- dispatch
             dispatched = 0
-            while (ifq and dispatched < decode_width
-                   and len(ruu) < ruu_size):
-                inst = ifq[0]
+            while (ifq_count and dispatched < decode_width
+                   and ruu_count < ruu_size):
+                inst = ifq_buf[ifq_head]
                 if inst.decode_ready > cycle:
                     break  # still in the decode/rename front-end stages
                 if inst.is_mem and lsq_count >= lsq_size:
                     break
-                ifq.popleft()
-                ruu.append(inst)
+                ifq_head += 1
+                if ifq_head == ifq_size:
+                    ifq_head = 0
+                ifq_count -= 1
+                tail = ruu_head + ruu_count
+                if tail >= ruu_size:
+                    tail -= ruu_size
+                ruu_buf[tail] = inst
+                ruu_count += 1
                 if inst.is_mem:
                     lsq_count += 1
                 slot = inst.slot
                 if slot.is_branch and not inst.wrong_path:
-                    source.on_dispatch(slot)
-                    activity["bpred"] += 1
+                    if pre_slots is None:
+                        source_on_dispatch(slot)
+                    act_bpred += 1
                 # Resolve RAW dependencies against dispatch history.
-                for distance in slot.dep_distances:
-                    if distance > dispatch_count or distance > _HISTORY:
-                        continue
-                    producer = history[(dispatch_count - distance) % _HISTORY]
-                    if (producer is None or producer.completed
-                            or producer.squashed):
-                        continue
-                    inst.pending += 1
-                    producer.waiters.append(inst)
+                distances = slot.dep_distances
+                if distances:
+                    for distance in distances:
+                        if distance > dispatch_count or distance > _HISTORY:
+                            continue
+                        index = hist_pos - distance
+                        if index < 0:
+                            index += _HISTORY
+                        producer = history[index]
+                        if (producer is None or producer.completed
+                                or producer.squashed):
+                            continue
+                        inst.pending += 1
+                        producer.waiters.append(inst)
                 if conservative_loads:
                     if (slot.is_load and last_store is not None
                             and not last_store.completed
@@ -266,43 +422,92 @@ class SuperscalarPipeline:
                         last_store.waiters.append(inst)
                     if slot.is_store:
                         last_store = inst
-                history[dispatch_count % _HISTORY] = inst
+                history[hist_pos] = inst
+                inst.hist_slot = hist_pos
+                hist_pos += 1
+                if hist_pos == _HISTORY:
+                    hist_pos = 0
                 dispatch_count += 1
                 dispatched += 1
                 if inst.pending == 0:
-                    heappush(ready, (inst.pseq, inst))
-            activity["dispatch"] += dispatched
+                    rq_fifo.append(inst)
+            act_dispatch += dispatched
+            if dispatched:
+                worked = True
 
             # ----------------------------------------------------- fetch
             if cycle >= fetch_block_until:
                 fetched = 0
-                while fetched < fetch_width and len(ifq) < ifq_size:
+                decode_ready = cycle + frontend_depth
+                while fetched < fetch_width and ifq_count < ifq_size:
                     if episode is not None:
-                        slot = source.peek_filler(filler_offset)
+                        if pre_slots is not None:
+                            iclass = pre_slots[(pre_pos + filler_offset)
+                                               % pre_len].iclass
+                            slot = filler_cache_get(iclass)
+                            if slot is None:
+                                slot = _filler_slot(iclass)
+                        else:
+                            slot = source_peek_filler(filler_offset)
+                            if slot is None:
+                                break
                         filler_offset += 1
                         wrong_path = True
                     elif exhausted:
                         break
                     else:
-                        slot = source.fetch()
-                        if slot is None:
-                            exhausted = True
-                            break
+                        if pre_slots is not None:
+                            if pre_pos >= pre_len:
+                                exhausted = True
+                                break
+                            slot = pre_slots[pre_pos]
+                            pre_pos += 1
+                        else:
+                            slot = source_fetch()
+                            if slot is None:
+                                exhausted = True
+                                break
                         wrong_path = False
-                    if slot is None:
-                        break
-                    inst = _Inflight(slot, pseq_counter, wrong_path)
-                    inst.decode_ready = cycle + frontend_depth
+                    if free:
+                        # Pooled records need no pending/squashed/
+                        # hist_slot reset: pending is always 0 by the
+                        # time a record is recyclable, only RUU-squashed
+                        # records (never recycled) carry squashed=True,
+                        # and hist_slot is only read at commit, which
+                        # dispatch always re-assigns first.
+                        inst = free_pop()
+                        inst.slot = slot
+                        inst.pseq = pseq_counter
+                        inst.decode_ready = decode_ready
+                        inst.issued = False
+                        inst.completed = False
+                        inst.recover = False
+                        inst.wrong_path = wrong_path
+                        inst.is_mem = slot.is_mem
+                    else:
+                        inst = _Inflight(slot, pseq_counter, wrong_path)
+                        inst.decode_ready = decode_ready
                     pseq_counter += 1
-                    ifq.append(inst)
+                    tail = ifq_head + ifq_count
+                    if tail >= ifq_size:
+                        tail -= ifq_size
+                    ifq_buf[tail] = inst
+                    ifq_count += 1
                     fetched += 1
-                    activity["il1"] += 1
-                    activity["l2"] += slot.il1_miss
-                    if slot.is_load or slot.is_store:
-                        activity["dl1"] += 1
-                        activity["l2"] += slot.dl1_miss
-                    if slot.is_branch and not wrong_path:
-                        activity["bpred"] += 1
+                    if wrong_path:
+                        # Fillers are inert by construction (see
+                        # _filler_slot): no locality events, no branch
+                        # outcome, no fetch stall — they only occupy
+                        # fetch/window/FU resources and D-cache ports.
+                        if inst.is_mem:
+                            act_dl1 += 1
+                        continue
+                    act_l2 += slot.il1_miss
+                    if inst.is_mem:
+                        act_dl1 += 1
+                        act_l2 += slot.dl1_miss
+                    if slot.is_branch:
+                        act_bpred += 1
                         branches += 1
                         outcome = slot.outcome
                         if slot.taken:
@@ -321,22 +526,74 @@ class SuperscalarPipeline:
                     if slot.fetch_stall:
                         fetch_block_until = cycle + 1 + slot.fetch_stall
                         break
-                activity["fetch"] += fetched
+                act_fetch += fetched
+                act_il1 += fetched
+                if fetched:
+                    worked = True
 
             # ------------------------------------------------ accounting
-            ruu_occupancy_sum += len(ruu)
+            ruu_occupancy_sum += ruu_count
             lsq_occupancy_sum += lsq_count
-            ifq_occupancy_sum += len(ifq)
+            ifq_occupancy_sum += ifq_count
             cycle += 1
 
-            if exhausted and not ifq and not ruu:
+            if exhausted and not ifq_count and not ruu_count:
                 break
             if cycle >= max_cycles:
+                if pre_slots is not None:
+                    source._pos = pre_pos
                 raise RuntimeError(
                     f"pipeline did not drain within {max_cycles} cycles "
                     f"({committed} committed)"
                 )
 
+            if not worked:
+                # Event-driven fast-forward: a cycle in which every
+                # stage was a no-op leaves the machine state untouched,
+                # so nothing can change before the next scheduled event
+                # — the earliest completion, the fetch unblock, or the
+                # IFQ head leaving the decode front-end.  Skip straight
+                # there and account the idle cycles analytically.
+                # A candidate equal to ``cycle`` means the event is due
+                # right now (it expired with the clock increment): the
+                # skip clamps to zero and the loop proceeds normally.
+                # Candidates in the past are stale, not constraints.
+                target = max_cycles
+                if event_times and event_times[0] < target:
+                    target = event_times[0]
+                if cycle <= fetch_block_until < target:
+                    target = fetch_block_until
+                if ifq_count:
+                    head_ready = ifq_buf[ifq_head].decode_ready
+                    if cycle <= head_ready < target:
+                        target = head_ready
+                skip = target - cycle
+                if skip > 0:
+                    ruu_occupancy_sum += ruu_count * skip
+                    lsq_occupancy_sum += lsq_count * skip
+                    ifq_occupancy_sum += ifq_count * skip
+                    cycle = target
+                    if cycle >= max_cycles:
+                        if pre_slots is not None:
+                            source._pos = pre_pos
+                        raise RuntimeError(
+                            f"pipeline did not drain within {max_cycles} "
+                            f"cycles ({committed} committed)"
+                        )
+
+        if pre_slots is not None:
+            source._pos = pre_pos
+        activity = {
+            "fetch": act_fetch, "dispatch": act_dispatch,
+            "issue": act_issue, "commit": act_commit,
+            "bpred": act_bpred, "il1": act_il1, "dl1": act_dl1,
+            "l2": act_l2,
+            "int_alu": fu_counts[FunctionalUnit.INT_ALU],
+            "load_store": fu_counts[FunctionalUnit.LOAD_STORE],
+            "fp_adder": fu_counts[FunctionalUnit.FP_ADDER],
+            "int_mult_div": fu_counts[FunctionalUnit.INT_MULT_DIV],
+            "fp_mult_div": fu_counts[FunctionalUnit.FP_MULT_DIV],
+        }
         result = SimulationResult(
             cycles=cycle,
             instructions=committed,

@@ -33,6 +33,8 @@ class FetchSlot:
     __slots__ = (
         "iclass",
         "fu",
+        "fu_index",
+        "is_mem",
         "exec_latency",
         "fetch_stall",
         "dep_distances",
@@ -76,6 +78,11 @@ class FetchSlot:
                                     IClass.INDIRECT_BRANCH)
         self.is_load = iclass is IClass.LOAD
         self.is_store = iclass is IClass.STORE
+        # Precomputed for the pipeline's issue/dispatch hot paths:
+        # FunctionalUnit is an IntEnum, so the plain-int index lets the
+        # issue stage address list-based FU pools without hashing.
+        self.fu_index = int(self.fu)
+        self.is_mem = self.is_load or self.is_store
         self.taken = taken
         self.outcome = outcome
         self.il1_miss = il1_miss
@@ -106,13 +113,24 @@ class InstructionSource(Protocol):
         ...
 
 
+#: Fillers are immutable to the pipeline (slots are only ever read), so
+#: one shared instance per instruction class serves every wrong-path
+#: fetch instead of constructing a fresh FetchSlot each time.
+_FILLER_CACHE: dict = {}
+
+
 def _filler_slot(iclass: IClass) -> FetchSlot:
     """A wrong-path filler: occupies fetch/window/FU resources with the
     class's base latency, but carries no dependencies, no locality events
     and an inert branch outcome.  Both simulators use the same rule, per
     DESIGN.md (the paper injects wrong-path instructions purely "to model
     resource contention")."""
-    return FetchSlot(iclass=iclass, exec_latency=execution_latency(iclass))
+    slot = _FILLER_CACHE.get(iclass)
+    if slot is None:
+        slot = FetchSlot(iclass=iclass,
+                         exec_latency=execution_latency(iclass))
+        _FILLER_CACHE[iclass] = slot
+    return slot
 
 
 class ExecutionDrivenSource:

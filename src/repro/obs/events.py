@@ -168,10 +168,18 @@ def emit(event: str, msg: Optional[str] = None, level: str = "info",
     *event* is a stable machine-readable name (``unit_retry``,
     ``span_end``, ...); *msg* an optional human sentence for the
     console; *fields* ride along on the JSON line.  Cheap when nothing
-    listens at *level*.
+    listens at *level*: the logger's own level is pinned to DEBUG, so
+    the gate is the attached handlers' thresholds — with no handlers
+    (unconfigured library use) only WARNING and above proceed, for
+    logging's last-resort handler.  Hot phases emit a span event per
+    call, so the drop path must not build the payload or LogRecord.
     """
     levelno = _LEVELS[level]
-    if not _LOGGER.isEnabledFor(levelno):
+    handlers = _LOGGER.handlers
+    if handlers:
+        if levelno < min(h.level for h in handlers):
+            return
+    elif levelno < logging.WARNING:
         return
     payload = _event_payload(event, msg, level, fields)
     _LOGGER.log(levelno, msg if msg is not None else event,

@@ -1,0 +1,123 @@
+"""Bench payload contract: schema validation, baseline regression
+checks and the committed baseline file itself — all without running
+the (seconds-long) benchmark; ``benchmarks/perf/test_hotpath.py`` and
+the CI perf-smoke job run the real thing."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.bench import (
+    BENCH_SCHEMA,
+    check_regression,
+    validate_payload,
+    write_bench,
+)
+from repro.bench.hotpath import PHASE_KEYS, REQUIRED_KEYS
+
+BASELINE_PATH = (Path(__file__).resolve().parents[1]
+                 / "benchmarks" / "perf" / "BASELINE_hotpath.json")
+
+
+def make_phase(speedup=2.0, units=1000):
+    before = 1.0
+    after = before / speedup
+    return {
+        "unit": "instruction", "units": units, "repeats": 1,
+        "before_seconds": before, "after_seconds": after,
+        "ns_per_unit_before": before / units * 1e9,
+        "ns_per_unit_after": after / units * 1e9,
+        "before_per_second": units / before,
+        "after_per_second": units / after,
+        "speedup": speedup,
+    }
+
+
+def make_payload(**speedups):
+    speedups = {"profile": 1.2, "synthesis": 2.2,
+                "synthesis_low_r": 3.3, "pipeline": 1.5, **speedups}
+    return {
+        "schema": BENCH_SCHEMA,
+        "benchmark": "gzip",
+        "scale": {"warmup": 1, "reference": 1, "reduction_factor": 4.0},
+        "quick": True,
+        "platform": "test",
+        "draw_stable": True,
+        "phases": {name: make_phase(value)
+                   for name, value in speedups.items()},
+        "speedups": speedups,
+        "phase_breakdown": {},
+    }
+
+
+class TestValidatePayload:
+    def test_complete_payload_is_clean(self):
+        assert validate_payload(make_payload()) == []
+
+    def test_every_missing_top_level_key_reported(self):
+        for key in REQUIRED_KEYS:
+            payload = make_payload()
+            del payload[key]
+            problems = validate_payload(payload)
+            assert any(key in p for p in problems), key
+
+    def test_missing_phase_key_reported(self):
+        payload = make_payload()
+        del payload["phases"]["pipeline"]["speedup"]
+        assert any("pipeline" in p and "speedup" in p
+                   for p in validate_payload(payload))
+
+    def test_unstable_draws_rejected(self):
+        payload = make_payload()
+        payload["draw_stable"] = False
+        assert any("draw_stable" in p for p in validate_payload(payload))
+
+    def test_wrong_schema_rejected(self):
+        payload = make_payload()
+        payload["schema"] = BENCH_SCHEMA + 1
+        assert any("schema" in p for p in validate_payload(payload))
+
+
+class TestCheckRegression:
+    BASELINE = {"speedups": {"pipeline": 1.3, "synthesis": 1.8}}
+
+    def test_clean_when_at_or_above_pins(self):
+        assert check_regression(make_payload(), self.BASELINE) == []
+
+    def test_within_tolerance_passes(self):
+        payload = make_payload(pipeline=1.3 * 0.9)
+        assert check_regression(payload, self.BASELINE,
+                                tolerance=0.15) == []
+
+    def test_below_tolerance_fails(self):
+        payload = make_payload(pipeline=1.3 * 0.8)
+        failures = check_regression(payload, self.BASELINE,
+                                    tolerance=0.15)
+        assert len(failures) == 1 and "pipeline" in failures[0]
+
+    def test_missing_phase_fails(self):
+        payload = make_payload()
+        del payload["speedups"]["pipeline"]
+        failures = check_regression(payload, self.BASELINE)
+        assert any("pipeline" in f for f in failures)
+
+
+class TestCommittedBaseline:
+    def test_baseline_parses_with_positive_pins(self):
+        baseline = json.loads(BASELINE_PATH.read_text())
+        assert set(baseline["speedups"]) == {
+            "profile", "synthesis", "synthesis_low_r", "pipeline"}
+        assert all(value > 1.0
+                   for value in baseline["speedups"].values())
+
+    def test_clean_payload_clears_committed_pins(self):
+        baseline = json.loads(BASELINE_PATH.read_text())
+        assert check_regression(make_payload(), baseline) == []
+
+
+def test_write_bench_round_trips(tmp_path):
+    payload = make_payload()
+    path = tmp_path / "BENCH_hotpath.json"
+    write_bench(payload, path)
+    assert json.loads(path.read_text()) == payload

@@ -1,0 +1,146 @@
+"""Golden-file determinism regression test.
+
+The hot-path overhaul (alias/guide-table samplers, the event-driven
+pipeline) must be *draw-for-draw* and *cycle-for-cycle* equivalent to
+the original implementation: the golden files in ``tests/golden/`` were
+generated with the pre-overhaul code, so the same profile + seed must
+still produce a byte-identical synthetic trace and an identical
+:class:`SimulationResult` after any rewrite.
+
+Regenerate (only when an *intentional* behaviour change is shipped)
+with::
+
+    PYTHONPATH=src python tests/test_determinism_golden.py
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.config import baseline_config
+from repro.core.framework import simulate_synthetic_trace
+from repro.core.profiler import profile_trace
+from repro.core.synthesis import generate_synthetic_trace
+from repro.frontend.warming import run_program_with_warmup
+from repro.workloads.spec import build_benchmark
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+#: The example workload the goldens pin: small enough to keep the files
+#: reviewable, large enough to exercise restarts, dead ends, rejected
+#: dependency draws, mispredictions and fetch redirections.
+BENCHMARK = "gzip"
+WARMUP = 2_000
+REFERENCE = 6_000
+ORDER = 1
+REDUCTION_FACTOR = 8.0
+SEEDS = (0, 1)
+
+
+def _build_profile():
+    config = baseline_config()
+    warm, trace = run_program_with_warmup(
+        build_benchmark(BENCHMARK), warmup=WARMUP,
+        n_instructions=REFERENCE)
+    profile = profile_trace(trace, config, order=ORDER,
+                            branch_mode="delayed", warmup_trace=warm)
+    return profile, config
+
+
+def _trace_payload(synthetic):
+    """Canonical JSON form of a synthetic trace (byte-stable)."""
+    return [
+        [inst.iclass.name, list(inst.dep_distances),
+         int(inst.il1_miss), int(inst.l2i_miss), int(inst.itlb_miss),
+         int(inst.dl1_miss), int(inst.l2d_miss), int(inst.dtlb_miss),
+         int(inst.taken),
+         inst.outcome.name if inst.outcome is not None else None]
+        for inst in synthetic.instructions
+    ]
+
+
+def _result_payload(result):
+    return {
+        "cycles": result.cycles,
+        "instructions": result.instructions,
+        "avg_ruu_occupancy": result.avg_ruu_occupancy,
+        "avg_lsq_occupancy": result.avg_lsq_occupancy,
+        "avg_ifq_occupancy": result.avg_ifq_occupancy,
+        "activity": dict(result.activity),
+        "branches": result.branches,
+        "taken_branches": result.taken_branches,
+        "fetch_redirections": result.fetch_redirections,
+        "branch_mispredictions": result.branch_mispredictions,
+        "squashed_instructions": result.squashed_instructions,
+    }
+
+
+def _case_payload(profile, config, seed):
+    synthetic = generate_synthetic_trace(profile, REDUCTION_FACTOR,
+                                         seed=seed)
+    result, _power = simulate_synthetic_trace(synthetic, config)
+    return {
+        "benchmark": BENCHMARK,
+        "warmup": WARMUP,
+        "reference": REFERENCE,
+        "order": ORDER,
+        "reduction_factor": REDUCTION_FACTOR,
+        "seed": seed,
+        "trace": _trace_payload(synthetic),
+        "result": _result_payload(result),
+    }
+
+
+def _golden_path(seed: int) -> Path:
+    return GOLDEN_DIR / f"determinism_{BENCHMARK}_seed{seed}.json"
+
+
+@pytest.fixture(scope="module")
+def profile_and_config():
+    return _build_profile()
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_trace_and_result_match_golden(profile_and_config, seed):
+    path = _golden_path(seed)
+    assert path.exists(), (
+        f"golden file {path} missing; regenerate with "
+        f"'PYTHONPATH=src python tests/test_determinism_golden.py'")
+    golden = json.loads(path.read_text())
+    profile, config = profile_and_config
+    current = _case_payload(profile, config, seed)
+    assert current["trace"] == golden["trace"], (
+        "synthetic trace diverged from the pre-overhaul golden "
+        f"(seed {seed}): same profile + seed no longer reproduces the "
+        "same instruction stream")
+    assert current["result"] == golden["result"], (
+        f"SimulationResult diverged from the golden (seed {seed})")
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_repeat_run_is_byte_identical(profile_and_config, seed):
+    """Two in-process runs serialize to the same bytes (no hidden
+    global state in the sampler caches)."""
+    profile, config = profile_and_config
+    first = json.dumps(_case_payload(profile, config, seed),
+                       sort_keys=True)
+    second = json.dumps(_case_payload(profile, config, seed),
+                        sort_keys=True)
+    assert first == second
+
+
+def regenerate() -> None:
+    GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+    profile, config = _build_profile()
+    for seed in SEEDS:
+        path = _golden_path(seed)
+        payload = _case_payload(profile, config, seed)
+        path.write_text(json.dumps(payload, sort_keys=True,
+                                   separators=(",", ":")) + "\n")
+        print(f"wrote {path} ({len(payload['trace'])} instructions, "
+              f"{payload['result']['cycles']} cycles)")
+
+
+if __name__ == "__main__":
+    regenerate()

@@ -178,6 +178,35 @@ class TestContainment:
         assert sweep.ok_results == []
 
 
+class TestRecipeWarmStart:
+    def test_serial_sweep_counts_recipe_reuse(self, profile, points):
+        from repro.obs.metrics import get_registry
+        from repro.core.synthesis import tables_cached
+
+        before = get_registry().snapshot()["counters"].get(
+            "dse.recipe_reuse", 0)
+        sweep = SweepEngine(profile, jobs=1).evaluate(
+            points, seeds=(0,), reduction_factor=4.0)
+        assert sweep.failed == 0
+        after = get_registry().snapshot()["counters"]["dse.recipe_reuse"]
+        # Every evaluation ran against tables prepared up front.
+        assert after - before == len(points)
+        assert tables_cached(profile.sfg)
+
+    def test_worker_init_prebuilds_tables(self, profile):
+        from repro.core.serialization import profile_to_dict
+        from repro.core.synthesis import tables_cached
+        from repro.dse import engine
+
+        engine._worker_init(profile_to_dict(profile))
+        try:
+            assert engine._WORKER_PROFILE is not None
+            assert tables_cached(engine._WORKER_PROFILE.sfg)
+        finally:
+            engine._WORKER_PROFILE = None
+            engine._WORKER_FAULT_PLAN = None
+
+
 def make_result(edp, ipc, label):
     point = DesignPoint(config=baseline_config(),
                         params=(("label", label),))
