@@ -194,6 +194,11 @@ def _build_parser() -> argparse.ArgumentParser:
     experiment.add_argument(
         "--retries", type=_non_negative_int, default=2,
         help="retry budget for retryable failures (default: 2)")
+    experiment.add_argument(
+        "--chaos", default=None, metavar="SPEC",
+        help="deterministic fault-injection spec (same grammar as "
+             "REPRO_CHAOS, e.g. 'seed=1;task-fail:rate=0.2'); "
+             "overrides the environment")
 
     dse = sub.add_parser(
         "dse", parents=[obs_parent],
@@ -244,6 +249,20 @@ def _build_parser() -> argparse.ArgumentParser:
     dse.add_argument("--retries", type=_non_negative_int, default=2,
                      help="retry budget per design-point evaluation "
                           "(default: 2)")
+    dse.add_argument(
+        "--max-point-retries", type=_non_negative_int, default=2,
+        metavar="N",
+        help="worker crashes attributed to one design point before it "
+             "is quarantined as a poison point (default: 2)")
+    dse.add_argument(
+        "--quarantine", default=None, metavar="MANIFEST.json",
+        help="write the poison-point quarantine manifest (config + "
+             "last error per quarantined task) to this path")
+    dse.add_argument(
+        "--chaos", default=None, metavar="SPEC",
+        help="deterministic fault-injection spec (same grammar as "
+             "REPRO_CHAOS, e.g. 'seed=1;worker-kill:rate=0.3'); "
+             "overrides the environment")
     dse.add_argument(
         "--bench", default=None, metavar="BENCH_dse.json",
         help="instead of one sweep, time serial vs --jobs parallel vs "
@@ -405,11 +424,39 @@ def _cmd_synthesize(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Sentinel distinguishing "--chaos not given" (consult the
+#: environment) from "--chaos explicitly parsed" (including errors).
+_NO_CHAOS = object()
+
+
+def _parse_chaos_arg(args: argparse.Namespace):
+    """Parse ``--chaos`` up front, before any expensive work.
+
+    Returns the parsed :class:`~repro.faults.ChaosPlan`, or the
+    ``_NO_CHAOS`` sentinel when the flag was absent, or ``None`` after
+    reporting a spec error (caller exits 2).
+    """
+    spec = getattr(args, "chaos", None)
+    if not spec:
+        return _NO_CHAOS
+    from repro.errors import ChaosSpecError
+    from repro.faults import ChaosPlan
+
+    try:
+        return ChaosPlan.parse(spec)
+    except ChaosSpecError as exc:
+        obs.error(f"--chaos: {exc}", event="cli_error")
+        return None
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     from repro.experiments.common import DEFAULT_SCALE, QUICK_SCALE
     from repro.runner import RunnerPolicy, TaskRunner
     from repro.workloads.spec import benchmark_names
 
+    chaos = _parse_chaos_arg(args)
+    if chaos is None:
+        return 2
     scale = QUICK_SCALE if args.scale == "quick" else DEFAULT_SCALE
     if args.benchmarks:
         chosen = tuple(name.strip()
@@ -430,16 +477,20 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
 
     runner = None
     if args.name in RUNNER_AWARE_EXPERIMENTS:
+        runner_kwargs = {}
+        if chaos is not _NO_CHAOS:
+            runner_kwargs["fault_plan"] = chaos
         runner = TaskRunner(
             policy=RunnerPolicy(timeout=args.timeout,
                                 max_retries=args.retries),
             run_dir=args.run_dir,
             resume=args.resume,
+            **runner_kwargs,
         )
-    elif args.run_dir or args.timeout is not None:
+    elif args.run_dir or args.timeout is not None or args.chaos:
         obs.info(f"note: experiment {args.name!r} does not run through "
                  f"the fault-tolerant runner; --run-dir/--resume/"
-                 f"--timeout are ignored")
+                 f"--timeout/--chaos are ignored")
 
     print(_run_experiment(args.name, scale, runner=runner))
     if runner is not None and runner.last_report is not None:
@@ -454,8 +505,8 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
 def _cmd_dse(args: argparse.Namespace) -> int:
     from dataclasses import replace
 
-    from repro.dse import SweepSpec, reduced_sec46_spec, run_dse_bench, \
-        run_study, write_bench
+    from repro.dse import SupervisorPolicy, SweepSpec, \
+        reduced_sec46_spec, run_dse_bench, run_study, write_bench
     from repro.experiments.common import DEFAULT_SCALE, QUICK_SCALE
     from repro.runner import RunnerPolicy
     from repro.workloads.spec import benchmark_names
@@ -467,6 +518,9 @@ def _cmd_dse(args: argparse.Namespace) -> int:
     if args.resume and not args.cache_dir:
         obs.error("--resume requires --cache-dir (the cache is the "
                   "sweep's resume state)", event="cli_error")
+        return 2
+    chaos = _parse_chaos_arg(args)
+    if chaos is None:
         return 2
 
     spec = (SweepSpec.from_file(args.sweep) if args.sweep
@@ -509,15 +563,30 @@ def _cmd_dse(args: argparse.Namespace) -> int:
         print(f"benchmark written to {args.bench}")
         return 0
 
+    study_kwargs = {}
+    if chaos is not _NO_CHAOS:
+        study_kwargs["fault_plan"] = chaos
     study = run_study(
         spec, args.benchmark, scale, jobs=args.jobs,
         cache_dir=args.cache_dir,
         policy=RunnerPolicy(timeout=args.timeout,
                             max_retries=args.retries),
         verify=not args.no_verify, verify_margin=args.verify_margin,
-        seeds=seeds, log=log)
+        seeds=seeds,
+        supervisor_policy=SupervisorPolicy(
+            max_point_retries=args.max_point_retries),
+        quarantine_path=args.quarantine,
+        log=log, **study_kwargs)
     print(study.render(margin=args.verify_margin))
     row = study.to_row()
+    if row["quarantined"]:
+        obs.warn(
+            f"{row['quarantined']} evaluation(s) quarantined as "
+            f"poison points"
+            + (f"; manifest: {args.quarantine}" if args.quarantine
+               else " (pass --quarantine PATH to keep the manifest)"),
+            event="quarantine_summary",
+            quarantined=row["quarantined"])
     if not args.no_verify and row["ss_optimal"] is not None:
         verdict = ("is the verified optimum" if row["found_optimal"]
                    else f"is {row['edp_gap'] * 100:.2f}% above the "

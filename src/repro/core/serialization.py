@@ -22,7 +22,8 @@ from repro.config import (
     MachineConfig,
     TLBConfig,
 )
-from repro.errors import ArtifactCorruptError
+from repro.errors import ArtifactCorruptError, ProfileValidationError
+from repro.faults import maybe_io_error
 from repro.isa.iclass import IClass
 from repro.core.profiler import BRANCH_MODES, StatisticalProfile
 from repro.core.sfg import ContextStats, StatisticalFlowGraph
@@ -220,6 +221,80 @@ def profile_from_dict(data: Dict) -> StatisticalProfile:
             f"profile payload is malformed: {exc!r}") from exc
 
 
+def validate_profile_invariants(profile: StatisticalProfile) -> None:
+    """Check the statistical invariants of a (typically just-loaded)
+    profile, raising :class:`ProfileValidationError` naming the first
+    violation.
+
+    A structurally valid JSON document can still describe an
+    impossible profile — negative histogram mass, transition counts
+    whose per-history probabilities cannot sum to 1, more cache misses
+    than block visits.  Synthesis would only trip over these deep
+    inside sampler-table construction (or worse, silently draw from a
+    nonsense distribution), so the artifact boundary rejects them with
+    a message naming the offending context instead.
+    """
+    sfg = profile.sfg
+
+    def bad(message: str) -> ProfileValidationError:
+        return ProfileValidationError(
+            f"profile {profile.name!r}: {message}")
+
+    total = 0
+    for context, stats in sfg.contexts.items():
+        where = f"context {context}"
+        if stats.occurrences < 0:
+            raise bad(f"{where} has negative occurrences "
+                      f"({stats.occurrences})")
+        total += stats.occurrences
+        for slot in range(stats.block_size):
+            for name, counter in (("il1", stats.il1), ("l2i", stats.l2i),
+                                  ("itlb", stats.itlb),
+                                  ("dl1", stats.dl1), ("l2d", stats.l2d),
+                                  ("dtlb", stats.dtlb)):
+                if not 0 <= counter[slot] <= stats.occurrences:
+                    raise bad(
+                        f"{where} slot {slot}: {name} miss count "
+                        f"{counter[slot]} outside [0, occurrences="
+                        f"{stats.occurrences}]")
+            hists = [hist for hist in stats.dep_hists[slot]]
+            hists.append(stats.waw_hists[slot])
+            hists.append(stats.war_hists[slot])
+            for hist in hists:
+                for distance, count in hist.items():
+                    if distance < 0 or count < 0:
+                        raise bad(
+                            f"{where} slot {slot}: dependency "
+                            f"histogram entry ({distance}: {count}) "
+                            f"is negative")
+        if not 0 <= stats.taken <= stats.occurrences:
+            raise bad(f"{where}: taken count {stats.taken} outside "
+                      f"[0, occurrences={stats.occurrences}]")
+        if any(count < 0 for count in stats.outcome_counts):
+            raise bad(f"{where}: negative branch outcome count "
+                      f"{stats.outcome_counts}")
+        if sum(stats.outcome_counts) > stats.occurrences:
+            raise bad(f"{where}: branch outcome counts "
+                      f"{stats.outcome_counts} sum past occurrences "
+                      f"{stats.occurrences}")
+    if total != sfg.total_block_executions:
+        raise bad(f"context occurrences sum to {total}, not the "
+                  f"recorded total_block_executions "
+                  f"{sfg.total_block_executions}")
+    for history, counts in sfg.transitions.items():
+        edge_total = 0
+        for block, count in counts.items():
+            if count < 0:
+                raise bad(f"transition {history} -> {block} has a "
+                          f"negative count ({count})")
+            edge_total += count
+        if counts and edge_total <= 0:
+            # All-zero counts: P[block | history] cannot sum to 1.
+            raise bad(f"history {history}: transition counts sum to "
+                      f"{edge_total}; edge probabilities cannot "
+                      f"normalize")
+
+
 def save_profile(profile: StatisticalProfile,
                  path: Union[str, Path]) -> None:
     """Write *profile* to *path* as JSON, atomically.
@@ -231,6 +306,9 @@ def save_profile(profile: StatisticalProfile,
     or corruption is detected at load time.
     """
     path = Path(path)
+    # io-error chaos site: a failed save raises a retryable
+    # InjectedIOError before any bytes land, like a full disk would.
+    maybe_io_error("save_profile", str(path))
     data = profile_to_dict(profile)
     data["checksum"] = _payload_checksum(data)
     tmp = path.with_name(path.name + ".tmp")
@@ -243,10 +321,16 @@ def load_profile(path: Union[str, Path]) -> StatisticalProfile:
 
     Raises :class:`ArtifactCorruptError` when the file is unreadable,
     truncated (invalid JSON), fails its checksum, or is structurally
-    invalid — never a bare ``JSONDecodeError``.
+    invalid — never a bare ``JSONDecodeError`` — and its
+    :class:`ProfileValidationError` subclass when the decoded profile
+    violates a statistical invariant
+    (:func:`validate_profile_invariants`).
     """
     path = Path(path)
     try:
+        # io-error chaos site: injected inside the try so it flows
+        # through exactly the path a real read failure takes.
+        maybe_io_error("load_profile", str(path))
         text = path.read_text()
     except OSError as exc:
         raise ArtifactCorruptError(
@@ -257,4 +341,6 @@ def load_profile(path: Union[str, Path]) -> StatisticalProfile:
         raise ArtifactCorruptError(
             f"profile {path} is not valid JSON (truncated write?): "
             f"{exc}") from exc
-    return profile_from_dict(data)
+    profile = profile_from_dict(data)
+    validate_profile_invariants(profile)
+    return profile

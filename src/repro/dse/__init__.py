@@ -3,10 +3,12 @@
 The paper's headline use case (section 4.6) industrialized: declare a
 sweep over machine-configuration fields (:mod:`repro.dse.space`),
 evaluate every design point in parallel with per-point fault-tolerance
-(:mod:`repro.dse.engine`), skip already-known points via a
-content-addressed result cache (:mod:`repro.dse.cache`), and extract
-Pareto fronts / verification shortlists from the result
-(:mod:`repro.dse.analysis`).  See ``docs/design_space.md``.
+(:mod:`repro.dse.engine`) under worker supervision with poison-point
+quarantine and serial fallback (:mod:`repro.dse.supervisor`), skip
+already-known points via a content-addressed result cache
+(:mod:`repro.dse.cache`), and extract Pareto fronts / verification
+shortlists from the result (:mod:`repro.dse.analysis`).  See
+``docs/design_space.md`` and ``docs/robustness.md``.
 """
 
 from repro.dse.analysis import (
@@ -36,6 +38,11 @@ from repro.dse.space import (
     reduced_sec46_spec,
 )
 from repro.dse.study import StudyResult, profile_benchmark, run_study
+from repro.dse.supervisor import (
+    PoolSupervisor,
+    Quarantine,
+    SupervisorPolicy,
+)
 
 __all__ = [
     "DEFAULT_VERIFY_MARGIN", "best_point", "pareto_front",
@@ -47,4 +54,5 @@ __all__ = [
     "SWEEPABLE_FIELDS", "DesignPoint", "SweepSpec", "apply_overrides",
     "config_hash", "profile_content_hash", "reduced_sec46_spec",
     "StudyResult", "profile_benchmark", "run_study",
+    "PoolSupervisor", "Quarantine", "SupervisorPolicy",
 ]

@@ -107,10 +107,21 @@ def render_sweep_report(sweep_name: str, sweep: SweepResult,
         lines.append("")
         for result in failed:
             detail = result.errors[0] if result.errors else {}
-            lines.append(
-                f"WARNING: {result.point.point_id} failed "
-                f"({detail.get('type', 'Error')}: "
-                f"{detail.get('message', 'unknown error')})")
+            if result.quarantined_seeds:
+                lines.append(
+                    f"QUARANTINED: {result.point.point_id} — worker "
+                    f"crashed on every dispatch "
+                    f"({result.quarantined_seeds} seed evaluation(s) "
+                    f"quarantined as poison points)")
+            else:
+                lines.append(
+                    f"WARNING: {result.point.point_id} failed "
+                    f"({detail.get('type', 'Error')}: "
+                    f"{detail.get('message', 'unknown error')})")
+    if sweep.quarantine_manifest:
+        lines.append("")
+        lines.append(f"quarantine manifest: {sweep.quarantine_manifest} "
+                     f"({sweep.quarantined} task(s))")
     if sweep.cache_stats is not None:
         stats = sweep.cache_stats
         lines.append("")

@@ -28,9 +28,12 @@ from pathlib import Path
 from typing import Any, Dict, Optional, Union
 
 from repro.errors import ArtifactCorruptError
+from repro.obs import events as obs_events
 from repro.runner.checkpoint import read_json_checked, write_json_atomic
-from repro.runner.faults import FaultPlan
 from repro.dse.space import canonical_json
+
+#: Sentinel: "no explicit plan given, consult the environment".
+_ENV_PLAN = object()
 
 #: Bump when the cached payload schema changes; part of the key, so a
 #: schema change is an automatic cold cache rather than a misread.
@@ -59,6 +62,7 @@ class CacheStats:
     misses: int = 0
     writes: int = 0
     corrupt_discarded: int = 0
+    io_errors: int = 0
 
     @property
     def lookups(self) -> int:
@@ -74,54 +78,100 @@ class CacheStats:
             "misses": self.misses,
             "writes": self.writes,
             "corrupt_discarded": self.corrupt_discarded,
+            "io_errors": self.io_errors,
             "hit_rate": self.hit_rate,
         }
 
 
 @dataclass
 class ResultCache:
-    """Content-addressed store of evaluation metrics on disk."""
+    """Content-addressed store of evaluation metrics on disk.
+
+    ``fault_plan`` defaults to whatever the environment asks for
+    (``REPRO_CHAOS`` or the legacy ``REPRO_FAULT_*``); pass ``None``
+    to disable injection explicitly.  The cache is an accelerator, so
+    every fault — injected or real — is contained: a failed read is a
+    miss, a failed write skips caching, and the sweep re-evaluates.
+    """
 
     cache_dir: Union[str, Path]
-    fault_plan: Optional[FaultPlan] = None
+    fault_plan: Any = _ENV_PLAN
     stats: CacheStats = field(default_factory=CacheStats)
 
     def __post_init__(self) -> None:
+        if self.fault_plan is _ENV_PLAN:
+            from repro.faults import plan_from_env
+
+            self.fault_plan = plan_from_env()
         self.cache_dir = Path(self.cache_dir)
         (self.cache_dir / "objects").mkdir(parents=True, exist_ok=True)
 
     def _path(self, key: str) -> Path:
         return self.cache_dir / "objects" / key[:2] / (key + ".json")
 
+    def _maybe_io_error(self, op: str, key: str) -> None:
+        hook = getattr(self.fault_plan, "maybe_io_error", None)
+        if hook is not None:
+            hook(op, key)
+
     def get(self, key: str) -> Optional[Dict[str, Any]]:
         """The cached entry for *key*, or None on a miss.
 
         A corrupt entry (checksum mismatch, truncation) is deleted and
         reported as a miss — the caller re-evaluates and overwrites it.
+        An unreadable entry (IO error) is left in place and reported
+        as a miss.
         """
         path = self._path(key)
         if not path.exists():
             self.stats.misses += 1
             return None
         try:
+            self._maybe_io_error("cache_get", key)
             payload = read_json_checked(path)
         except ArtifactCorruptError:
             path.unlink(missing_ok=True)
             self.stats.corrupt_discarded += 1
             self.stats.misses += 1
             return None
+        except OSError as exc:
+            self.stats.io_errors += 1
+            self.stats.misses += 1
+            obs_events.emit("cache_io_error", level="warning",
+                            msg=(f"cache read failed for "
+                                 f"{key[:12]}...; treating as a miss "
+                                 f"({exc})"),
+                            op="get", key=key,
+                            error=type(exc).__name__)
+            return None
         self.stats.hits += 1
         return payload
 
     def put(self, key: str, metrics: Dict[str, float],
-            meta: Optional[Dict[str, Any]] = None) -> Path:
-        """Store one evaluation's *metrics* (plus provenance *meta*)."""
+            meta: Optional[Dict[str, Any]] = None) -> Optional[Path]:
+        """Store one evaluation's *metrics* (plus provenance *meta*).
+
+        Returns the entry path, or None when the write failed with an
+        IO error — the result is simply not cached; the caller already
+        holds the metrics.
+        """
         path = self._path(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
         payload: Dict[str, Any] = {"metrics": dict(metrics)}
         if meta:
             payload["meta"] = dict(meta)
-        write_json_atomic(path, payload)
+        try:
+            self._maybe_io_error("cache_put", key)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            write_json_atomic(path, payload)
+        except OSError as exc:
+            self.stats.io_errors += 1
+            obs_events.emit("cache_io_error", level="warning",
+                            msg=(f"cache write failed for "
+                                 f"{key[:12]}...; result not cached "
+                                 f"({exc})"),
+                            op="put", key=key,
+                            error=type(exc).__name__)
+            return None
         self.stats.writes += 1
         if self.fault_plan is not None:
             self.fault_plan.maybe_corrupt_artifact(path)

@@ -4,11 +4,15 @@ The paper's economics (Figure 1) hinge on evaluating *many* design
 points per statistical profile.  Every point is an independent
 synthetic-trace simulation, so the sweep is embarrassingly parallel:
 this engine fans (point, seed) evaluations out over a
-``ProcessPoolExecutor`` with chunked dispatch, while keeping the
-fault-tolerance semantics of :class:`~repro.runner.TaskRunner` —
-per-evaluation wall-clock timeouts, bounded retry with backoff, fault
-injection, and exception containment — applied **per design point**
-rather than per benchmark.
+``ProcessPoolExecutor`` supervised by a
+:class:`~repro.dse.supervisor.PoolSupervisor` — worker death breaks a
+pool, the supervisor rebuilds it, requeues the lease-tracked in-flight
+tasks, quarantines repeat offenders as poison points, and degrades to
+serial in-process execution when the pool cannot be kept alive — while
+keeping the fault-tolerance semantics of
+:class:`~repro.runner.TaskRunner` — per-evaluation wall-clock
+timeouts, bounded retry with backoff, fault injection, and exception
+containment — applied **per design point** rather than per benchmark.
 
 Determinism: each evaluation's synthesis seed is derived from a stable
 hash of (experiment, benchmark, config hash, base seed), never from
@@ -24,20 +28,29 @@ mechanism.
 from __future__ import annotations
 
 import hashlib
+import tempfile
 import time
+import traceback
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.config import MachineConfig
 from repro.errors import is_retryable
+from repro.faults import ChaosPlan, plan_from_env
 from repro.obs import events as obs_events
 from repro.obs.metrics import get_registry
 from repro.runner import RunnerPolicy, TaskRunner, WorkUnit
-from repro.runner.faults import FaultPlan
 from repro.runner.runner import call_with_timeout
 from repro.dse.cache import ResultCache, result_key
 from repro.dse.space import DesignPoint, profile_content_hash
+from repro.dse.supervisor import (
+    PoolSupervisor,
+    Quarantine,
+    SupervisorPolicy,
+    clear_lease,
+    write_lease,
+)
 
 #: Sentinel: "no explicit plan given, consult the environment".
 _ENV_PLAN = object()
@@ -85,16 +98,24 @@ def evaluate_metrics(profile, config: MachineConfig, seed: int,
 # once per task.
 
 _WORKER_PROFILE = None
-_WORKER_FAULT_PLAN: Optional[FaultPlan] = None
+_WORKER_FAULT_PLAN: Optional[Any] = None
+_WORKER_LEASE_DIR: Optional[str] = None
 
 
-def _worker_init(profile_payload: Dict) -> None:
-    global _WORKER_PROFILE, _WORKER_FAULT_PLAN
+def _worker_init(profile_payload: Dict,
+                 chaos_spec: Optional[str] = None,
+                 lease_dir: Optional[str] = None) -> None:
+    global _WORKER_PROFILE, _WORKER_FAULT_PLAN, _WORKER_LEASE_DIR
     from repro.core.serialization import profile_from_dict
     from repro.core.synthesis import prepare_recipes
 
     _WORKER_PROFILE = profile_from_dict(profile_payload)
-    _WORKER_FAULT_PLAN = FaultPlan.from_env()
+    # An explicit plan from the parent (e.g. the CLI's --chaos) is
+    # shipped as its spec string; otherwise the worker consults the
+    # environment it inherited, same as the serial path.
+    _WORKER_FAULT_PLAN = (ChaosPlan.parse(chaos_spec) if chaos_spec
+                          else plan_from_env())
+    _WORKER_LEASE_DIR = lease_dir
     # Warm every context's sampler tables once per worker so each of the
     # worker's (point, seed) evaluations starts with compiled recipes
     # instead of rebuilding them on the first synthesis call.
@@ -102,7 +123,7 @@ def _worker_init(profile_payload: Dict) -> None:
 
 
 def _run_task(task: Dict[str, Any], profile, policy: RunnerPolicy,
-              fault_plan: Optional[FaultPlan]) -> Dict[str, Any]:
+              fault_plan: Optional[Any]) -> Dict[str, Any]:
     """Execute one (point, seed) evaluation with TaskRunner semantics:
     fault injection per attempt, wall-clock timeout, bounded retry with
     backoff, and containment of any exception into a structured
@@ -135,8 +156,15 @@ def _run_task(task: Dict[str, Any], profile, policy: RunnerPolicy,
                 "task": task, "status": "failed", "metrics": None,
                 "attempts": attempt,
                 "elapsed": time.perf_counter() - started,
+                # The full remote traceback travels with the outcome so
+                # a worker-side failure is debuggable from the parent's
+                # failure record and events.jsonl, not just a bare
+                # exception type.
                 "error": {"type": type(exc).__name__,
-                          "message": str(exc)},
+                          "message": str(exc),
+                          "traceback": "".join(
+                              traceback.format_exception(
+                                  type(exc), exc, exc.__traceback__))},
             }
         return {
             "task": task, "status": "ok", "metrics": metrics,
@@ -147,12 +175,39 @@ def _run_task(task: Dict[str, Any], profile, policy: RunnerPolicy,
         }
 
 
+def _evaluate_one(task: Dict[str, Any],
+                  policy: RunnerPolicy) -> Dict[str, Any]:
+    """Worker entry point: evaluate one task against the profile
+    installed by :func:`_worker_init`.
+
+    Writes a lease before touching the task and clears it afterwards;
+    a hard crash (``os._exit`` skips ``finally``) leaves the lease for
+    the supervisor's crash attribution.  The worker-kill chaos site
+    fires here — after the lease, before the work — and only here:
+    serial in-process evaluation has no worker to kill, which is what
+    makes the supervisor's serial fallback terminate under injection.
+    """
+    task_id = task["task_id"]
+    if _WORKER_LEASE_DIR:
+        write_lease(_WORKER_LEASE_DIR, task_id,
+                    task.get("dispatch", 1))
+    try:
+        plan = _WORKER_FAULT_PLAN
+        kill = getattr(plan, "maybe_kill_worker", None)
+        if kill is not None:
+            kill(task_id, task.get("dispatch", 1))
+        return _run_task(task, _WORKER_PROFILE, policy, plan)
+    finally:
+        if _WORKER_LEASE_DIR:
+            clear_lease(_WORKER_LEASE_DIR, task_id)
+
+
 def _evaluate_chunk(chunk: List[Dict[str, Any]],
                     policy: RunnerPolicy) -> List[Dict[str, Any]]:
-    """Worker entry point: evaluate a chunk of tasks against the
-    profile installed by :func:`_worker_init`."""
-    return [_run_task(task, _WORKER_PROFILE, policy, _WORKER_FAULT_PLAN)
-            for task in chunk]
+    """Evaluate a batch of tasks in one call (kept for API
+    compatibility; the supervised pool dispatches per task so leases
+    track exactly the in-flight work)."""
+    return [_evaluate_one(task, policy) for task in chunk]
 
 
 # -- results -----------------------------------------------------------
@@ -167,11 +222,13 @@ class PointResult:
     cached_seeds: int = 0
     evaluated_seeds: int = 0
     failed_seeds: int = 0
+    quarantined_seeds: int = 0
     errors: List[Dict[str, Any]] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
-        return self.failed_seeds == 0 and bool(self.per_seed)
+        return (self.failed_seeds == 0 and self.quarantined_seeds == 0
+                and bool(self.per_seed))
 
     @property
     def metrics(self) -> Dict[str, float]:
@@ -206,7 +263,9 @@ class SweepResult:
     evaluated: int = 0
     cached: int = 0
     failed: int = 0
+    quarantined: int = 0
     cache_stats: Optional[Dict[str, Any]] = None
+    quarantine_manifest: Optional[str] = None
 
     @property
     def ok_results(self) -> List[PointResult]:
@@ -214,13 +273,16 @@ class SweepResult:
 
     @property
     def total_tasks(self) -> int:
-        return self.evaluated + self.cached + self.failed
+        return self.evaluated + self.cached + self.failed \
+            + self.quarantined
 
     def summary(self) -> str:
         parts = [f"{len(self.results)} points", f"jobs={self.jobs}",
                  f"{self.evaluated} evaluated / {self.cached} cached / "
                  f"{self.failed} failed evaluations",
                  f"{self.elapsed:.2f}s"]
+        if self.quarantined:
+            parts.insert(3, f"{self.quarantined} quarantined")
         return ", ".join(parts)
 
 
@@ -232,10 +294,15 @@ class SweepEngine:
 
     ``jobs=1`` routes every (point, seed) evaluation through a
     :class:`~repro.runner.TaskRunner` in-process; ``jobs>1`` dispatches
-    chunks to a process pool whose workers apply the same policy
-    (timeout, retries, fault injection) per evaluation.  Both paths
-    call the same :func:`evaluate_metrics` with the same derived seeds,
-    so their metrics are identical.
+    tasks to a supervised process pool
+    (:class:`~repro.dse.supervisor.PoolSupervisor`) whose workers apply
+    the same policy (timeout, retries, fault injection) per evaluation,
+    and which survives worker death by rebuilding the pool, requeueing
+    in-flight tasks, quarantining poison points after
+    ``supervisor_policy.max_point_retries`` attributed crashes, and
+    degrading to the serial path when the pool cannot be kept alive.
+    Both paths call the same :func:`evaluate_metrics` with the same
+    derived seeds, so their metrics are identical.
     """
 
     def __init__(
@@ -247,6 +314,8 @@ class SweepEngine:
         fault_plan: Any = _ENV_PLAN,
         experiment: str = "dse",
         benchmark: Optional[str] = None,
+        supervisor_policy: Optional[SupervisorPolicy] = None,
+        quarantine_path: Optional[Union[str, Any]] = None,
         log=None,
     ) -> None:
         if jobs < 1:
@@ -256,10 +325,14 @@ class SweepEngine:
         self.cache = cache
         self.policy = policy or RunnerPolicy()
         if fault_plan is _ENV_PLAN:
-            fault_plan = FaultPlan.from_env()
-        self.fault_plan: Optional[FaultPlan] = fault_plan
+            fault_plan = plan_from_env()
+        self.fault_plan: Optional[Any] = fault_plan
         self.experiment = experiment
         self.benchmark = benchmark
+        self.supervisor_policy = supervisor_policy or SupervisorPolicy()
+        self.quarantine = Quarantine(
+            path=quarantine_path,
+            max_point_retries=self.supervisor_policy.max_point_retries)
         self.log = log or (lambda message: None)
         self.profile_hash = profile_content_hash(profile)
 
@@ -274,6 +347,7 @@ class SweepEngine:
                         f"{self.benchmark or 'profile'}/"
                         f"{point.point_id}/seed{seed}"),
             "point_index": index,
+            "point_id": point.point_id,
             "benchmark": self.benchmark,
             "config": config_to_dict(point.config),
             "base_seed": seed,
@@ -335,21 +409,34 @@ class SweepEngine:
                       ) -> List[Dict[str, Any]]:
         from repro.core.serialization import profile_to_dict
 
-        chunk_size = max(1, -(-len(tasks) // (self.jobs * 4)))
-        chunks = [tasks[i:i + chunk_size]
-                  for i in range(0, len(tasks), chunk_size)]
-        self.log(f"dispatching {len(tasks)} evaluations in "
-                 f"{len(chunks)} chunks to {self.jobs} workers")
+        self.log(f"dispatching {len(tasks)} evaluations to "
+                 f"{self.jobs} supervised workers")
         payload = profile_to_dict(self.profile)
-        outcomes: List[Dict[str, Any]] = []
-        with ProcessPoolExecutor(max_workers=self.jobs,
-                                 initializer=_worker_init,
-                                 initargs=(payload,)) as pool:
-            futures = [pool.submit(_evaluate_chunk, chunk, self.policy)
-                       for chunk in chunks]
-            for future in futures:
-                outcomes.extend(future.result())
-        return outcomes
+        # An explicit ChaosPlan must reach the workers even though it
+        # never entered the environment; ship its spec string through
+        # the pool initializer.
+        chaos_spec = (self.fault_plan.to_spec()
+                      if isinstance(self.fault_plan, ChaosPlan)
+                      else None)
+        with tempfile.TemporaryDirectory(
+                prefix="repro-leases-") as lease_dir:
+
+            def pool_factory() -> ProcessPoolExecutor:
+                return ProcessPoolExecutor(
+                    max_workers=self.jobs,
+                    initializer=_worker_init,
+                    initargs=(payload, chaos_spec, lease_dir))
+
+            supervisor = PoolSupervisor(
+                pool_factory=pool_factory,
+                task_fn=_evaluate_one,
+                runner_policy=self.policy,
+                policy=self.supervisor_policy,
+                quarantine=self.quarantine,
+                serial_fn=self._run_serial,
+                lease_dir=lease_dir,
+                log=self.log)
+            return supervisor.run(tasks)
 
     # -- public API ----------------------------------------------------
 
@@ -398,7 +485,7 @@ class SweepEngine:
         else:
             outcomes = []
 
-        evaluated = failed = recipe_reuse = 0
+        evaluated = failed = quarantined = recipe_reuse = 0
         for outcome in outcomes:
             if outcome["status"] == "ok" and outcome.get("recipe_reuse"):
                 recipe_reuse += 1
@@ -421,26 +508,33 @@ class SweepEngine:
                                            task["reduction_factor"],
                                        "profile": self.profile_hash,
                                    })
-            else:
-                failed += 1
-                result.failed_seeds += 1
+            elif outcome["status"] == "quarantined":
+                quarantined += 1
+                result.quarantined_seeds += 1
                 result.errors.append(
                     {"task_id": task["task_id"], **(outcome["error"]
                                                     or {})})
+            else:
+                failed += 1
+                result.failed_seeds += 1
+                error = outcome["error"] or {}
+                result.errors.append(
+                    {"task_id": task["task_id"], **error})
                 message = (f"{task['task_id']}: failed after "
                            f"{outcome['attempts']} attempt(s): "
-                           f"{(outcome['error'] or {}).get('type')}: "
-                           f"{(outcome['error'] or {}).get('message')}")
+                           f"{error.get('type')}: "
+                           f"{error.get('message')}")
                 obs_events.emit("point_failed", msg=message,
                                 level="warning",
                                 task=task["task_id"],
                                 attempts=outcome["attempts"],
-                                error=(outcome["error"]
-                                       or {}).get("type"))
+                                error=error.get("type"),
+                                traceback=error.get("traceback"))
                 self.log(message)
 
         registry.counter("dse.evaluated").inc(evaluated)
         registry.counter("dse.failed").inc(failed)
+        registry.counter("dse.quarantined").inc(quarantined)
         registry.counter("dse.cache_hits").inc(cached)
         # Evaluations that started with warm sampler tables (prebuilt in
         # _worker_init / at the start of the serial path) rather than
@@ -451,15 +545,21 @@ class SweepEngine:
             for key, metric in (("misses", "dse.cache_misses"),
                                 ("writes", "dse.cache_writes"),
                                 ("corrupt_discarded",
-                                 "dse.cache_corrupt_discarded")):
+                                 "dse.cache_corrupt_discarded"),
+                                ("io_errors", "dse.cache_io_errors")):
                 registry.counter(metric).inc(
                     int(stats_after[key]) - int(stats_before[key]))
+        # The supervised pool already wrote the manifest; this covers
+        # serial runs (and is a harmless atomic rewrite otherwise) so
+        # a requested --quarantine file always exists afterwards.
+        manifest = self.quarantine.write()
         elapsed = time.perf_counter() - started
         obs_events.emit("sweep_end", level="debug",
                         experiment=self.experiment,
                         benchmark=self.benchmark,
                         evaluated=evaluated, cached=cached,
-                        failed=failed, elapsed=round(elapsed, 6))
+                        failed=failed, quarantined=quarantined,
+                        elapsed=round(elapsed, 6))
         return SweepResult(
             results=results,
             elapsed=elapsed,
@@ -469,6 +569,8 @@ class SweepEngine:
             evaluated=evaluated,
             cached=cached,
             failed=failed,
+            quarantined=quarantined,
             cache_stats=(self.cache.stats.to_payload()
                          if self.cache is not None else None),
+            quarantine_manifest=(str(manifest) if manifest else None),
         )

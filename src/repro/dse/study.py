@@ -25,8 +25,10 @@ from repro.dse.analysis import (
     verification_shortlist,
 )
 from repro.dse.cache import ResultCache
-from repro.dse.engine import PointResult, SweepEngine, SweepResult
+from repro.dse.engine import _ENV_PLAN, PointResult, SweepEngine, \
+    SweepResult
 from repro.dse.space import SweepSpec
+from repro.dse.supervisor import SupervisorPolicy
 
 
 def profile_benchmark(benchmark: str, scale) -> Tuple[Any, Any, Any]:
@@ -72,6 +74,7 @@ class StudyResult:
             "pareto_points": len(pareto_front(self.sweep.results)),
             "evaluations": self.sweep.evaluated,
             "cached_evaluations": self.sweep.cached,
+            "quarantined": self.sweep.quarantined,
             "sweep_seconds": self.sweep.elapsed,
             "jobs": self.sweep.jobs,
         }
@@ -93,9 +96,18 @@ def run_study(
     verify_margin: float = DEFAULT_VERIFY_MARGIN,
     base_config: Optional[MachineConfig] = None,
     seeds: Optional[Sequence[int]] = None,
+    fault_plan: Any = _ENV_PLAN,
+    supervisor_policy: Optional[SupervisorPolicy] = None,
+    quarantine_path: Optional[str] = None,
     log=None,
 ) -> StudyResult:
-    """Run the full section 4.6 protocol for one benchmark."""
+    """Run the full section 4.6 protocol for one benchmark.
+
+    ``fault_plan`` (default: from the environment),
+    ``supervisor_policy`` (crash/rebuild budgets) and
+    ``quarantine_path`` (poison-point manifest) pass straight through
+    to the :class:`~repro.dse.engine.SweepEngine`.
+    """
     from repro.core.framework import run_execution_driven
     from repro.power.wattch import energy_delay_product
 
@@ -103,7 +115,10 @@ def run_study(
     points = spec.expand(base_config)
     cache = ResultCache(cache_dir) if cache_dir else None
     engine = SweepEngine(profile, jobs=jobs, cache=cache, policy=policy,
+                         fault_plan=fault_plan,
                          experiment=spec.name, benchmark=benchmark,
+                         supervisor_policy=supervisor_policy,
+                         quarantine_path=quarantine_path,
                          log=log)
     sweep = engine.evaluate(points, seeds=seeds or scale.seeds,
                             reduction_factor=scale.reduction_factor)

@@ -45,9 +45,32 @@ class ArtifactCorruptError(ReproError, ValueError):
     truncated, fails its checksum, or is missing required fields."""
 
 
+class ProfileValidationError(ArtifactCorruptError):
+    """A loaded profile is structurally sound JSON but violates a
+    statistical invariant (negative histogram mass, inconsistent
+    occurrence counts, transition probabilities that cannot sum to 1).
+    Subclasses :class:`ArtifactCorruptError` so existing artifact
+    handling (discard-and-rerun) applies unchanged."""
+
+
 class SweepSpecError(ReproError, ValueError):
     """A design-space sweep specification (:mod:`repro.dse.space`) is
     malformed: unknown mode, unsweepable field, or empty expansion."""
+
+
+class ChaosSpecError(ReproError, ValueError):
+    """A ``REPRO_CHAOS`` chaos-injection spec string
+    (:mod:`repro.faults`) is malformed: unknown site, unknown key, or
+    an out-of-range value."""
+
+
+class WorkerCrashError(ReproError):
+    """A pool worker process died (segfault, OOM kill, injected
+    worker-kill) while executing a task.  Retryable: the supervisor
+    requeues the task onto a rebuilt pool until the per-point crash
+    budget is exhausted, at which point the task is quarantined."""
+
+    retryable = True
 
 
 class TaskTimeoutError(ReproError, TimeoutError):
@@ -58,10 +81,15 @@ class TaskTimeoutError(ReproError, TimeoutError):
 
 class InjectedFaultError(ReproError):
     """A transient failure injected by the fault-injection hook
-    (:mod:`repro.runner.faults`); used to test the runner against
-    itself."""
+    (:mod:`repro.faults`); used to test the runner against itself."""
 
     retryable = True
+
+
+class InjectedIOError(InjectedFaultError, OSError):
+    """An injected filesystem failure (the ``io-error`` chaos site).
+    Subclasses :class:`OSError` so it flows through exactly the code
+    paths a real disk error would."""
 
 
 def is_retryable(error: BaseException) -> bool:

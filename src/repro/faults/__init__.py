@@ -1,0 +1,76 @@
+"""Unified fault-injection subsystem.
+
+Two injectors live here:
+
+* :class:`~repro.faults.chaos.ChaosPlan` — the unified, deterministic
+  chaos harness driven by one ``REPRO_CHAOS`` spec string (seeded
+  injection sites for worker-kill, IO errors, artifact corruption and
+  slow calls); see :mod:`repro.faults.chaos` for the grammar.
+* :class:`~repro.faults.legacy.FaultPlan` — the original per-variable
+  ``REPRO_FAULT_*`` injector, kept for backward compatibility.
+
+:func:`plan_from_env` arbitrates: ``REPRO_CHAOS`` wins when set,
+``REPRO_FAULT_*`` otherwise, None when neither is present.  Both plans
+expose the same ``inject(unit_id, benchmark, attempt)`` /
+``maybe_corrupt_artifact(path)`` surface the runner and the result
+cache consume, so every consumer takes either interchangeably.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from repro.faults.chaos import (
+    SITES,
+    WORKER_KILL_EXIT_CODE,
+    ChaosPlan,
+    ChaosSite,
+    active_sites,
+)
+from repro.faults.legacy import FaultPlan
+
+
+def plan_from_env(environ=os.environ):
+    """The fault plan the environment asks for, or None.
+
+    ``REPRO_CHAOS`` (the unified spec) takes precedence over the
+    legacy ``REPRO_FAULT_*`` variables; a malformed spec raises
+    :class:`~repro.errors.ChaosSpecError` so a typo fails loudly at
+    startup instead of silently disabling injection.
+    """
+    spec = environ.get("REPRO_CHAOS", "").strip()
+    if spec:
+        return ChaosPlan.parse(spec)
+    return FaultPlan.from_env(environ)
+
+
+# Cache the parsed environment plan for the hot module-level hook
+# below: (spec string, parsed plan).
+_env_cache: tuple = ("", None)
+
+
+def maybe_io_error(op: str, token: str = "") -> None:
+    """Module-level io-error hook for call sites without a plan.
+
+    Serialization (:func:`repro.core.serialization.save_profile` /
+    ``load_profile``) has no fault-plan parameter to thread through;
+    this consults ``REPRO_CHAOS`` directly (parsed once per spec) and
+    is a no-op when unset — the common, production case costs one dict
+    lookup.
+    """
+    global _env_cache
+    spec = os.environ.get("REPRO_CHAOS", "").strip()
+    if not spec:
+        return
+    if _env_cache[0] != spec:
+        _env_cache = (spec, ChaosPlan.parse(spec))
+    plan = _env_cache[1]
+    if plan is not None:
+        plan.maybe_io_error(op, token)
+
+
+__all__ = [
+    "SITES", "WORKER_KILL_EXIT_CODE", "ChaosPlan", "ChaosSite",
+    "FaultPlan", "active_sites", "maybe_io_error", "plan_from_env",
+]

@@ -1,126 +1,8 @@
-"""Fault injection: deliberately break work units to test the runner.
+"""Backward-compatibility shim: :class:`FaultPlan` moved to
+:mod:`repro.faults.legacy` when fault injection became its own
+subsystem (see :mod:`repro.faults` for the unified ``REPRO_CHAOS``
+harness).  Import from :mod:`repro.faults` in new code."""
 
-A :class:`FaultPlan` describes which units should fail (or stall) and
-how often.  The runner consults the plan before executing each attempt,
-so injected failures exercise exactly the containment / retry / resume
-machinery that real failures would.  Plans come from code (tests) or
-from the environment (CLI smoke runs):
+from repro.faults.legacy import FaultPlan
 
-``REPRO_FAULT_BENCHMARKS``
-    Comma-separated benchmark names whose units always fail.
-``REPRO_FAULT_RATE``
-    Probability in [0, 1] that any attempt fails.
-``REPRO_FAULT_ATTEMPTS``
-    Fail only the first N attempts of a matching unit (transient
-    faults); unset or 0 means every attempt fails (permanent fault).
-``REPRO_FAULT_DELAY``
-    Seconds of injected sleep per attempt (for timeout testing).
-``REPRO_FAULT_CACHE_RATE``
-    Probability in [0, 1] that a freshly written design-space cache
-    entry (:mod:`repro.dse.cache`) is corrupted on disk, exercising the
-    checksum-verify-and-discard path.
-``REPRO_FAULT_SEED``
-    Seed for the probabilistic injector (default 0).
-"""
-
-from __future__ import annotations
-
-import os
-import random
-import time
-from dataclasses import dataclass, field
-from typing import Optional, Tuple
-
-from repro.errors import InjectedFaultError
-
-
-@dataclass
-class FaultPlan:
-    """Configuration for the fault-injection hook.
-
-    ``fail_benchmarks`` match units by their ``benchmark`` attribute;
-    ``fail_rate`` injects probabilistically into every unit.
-    ``fail_attempts`` limits deterministic injection to the first N
-    attempts of each matching unit, modelling transient faults that a
-    retry survives; 0 means the fault is permanent.
-    """
-
-    fail_benchmarks: Tuple[str, ...] = ()
-    fail_rate: float = 0.0
-    fail_attempts: int = 0
-    delay_seconds: float = 0.0
-    cache_corrupt_rate: float = 0.0
-    seed: int = 0
-    _rng: random.Random = field(init=False, repr=False, compare=False)
-
-    def __post_init__(self) -> None:
-        if not 0.0 <= self.fail_rate <= 1.0:
-            raise ValueError("fail_rate must be within [0, 1]")
-        if not 0.0 <= self.cache_corrupt_rate <= 1.0:
-            raise ValueError("cache_corrupt_rate must be within [0, 1]")
-        if self.delay_seconds < 0:
-            raise ValueError("delay_seconds must be >= 0")
-        self._rng = random.Random(self.seed)
-
-    @classmethod
-    def from_env(cls, environ=os.environ) -> Optional["FaultPlan"]:
-        """Build a plan from ``REPRO_FAULT_*`` variables, or None when
-        none are set (the common case: injection disabled)."""
-        benchmarks = tuple(
-            name.strip()
-            for name in environ.get("REPRO_FAULT_BENCHMARKS", "").split(",")
-            if name.strip()
-        )
-        rate = float(environ.get("REPRO_FAULT_RATE", "0") or 0)
-        attempts = int(environ.get("REPRO_FAULT_ATTEMPTS", "0") or 0)
-        delay = float(environ.get("REPRO_FAULT_DELAY", "0") or 0)
-        cache_rate = float(
-            environ.get("REPRO_FAULT_CACHE_RATE", "0") or 0)
-        seed = int(environ.get("REPRO_FAULT_SEED", "0") or 0)
-        if not benchmarks and rate == 0.0 and delay == 0.0 \
-                and cache_rate == 0.0:
-            return None
-        return cls(fail_benchmarks=benchmarks, fail_rate=rate,
-                   fail_attempts=attempts, delay_seconds=delay,
-                   cache_corrupt_rate=cache_rate, seed=seed)
-
-    def inject(self, unit_id: str, benchmark: Optional[str],
-               attempt: int) -> None:
-        """Called by the runner before each attempt; sleeps and/or
-        raises :class:`InjectedFaultError` according to the plan."""
-        if self.delay_seconds > 0:
-            time.sleep(self.delay_seconds)
-        targeted = benchmark is not None and \
-            benchmark in self.fail_benchmarks
-        if targeted and (self.fail_attempts == 0
-                         or attempt <= self.fail_attempts):
-            raise InjectedFaultError(
-                f"injected fault in {unit_id} (attempt {attempt})")
-        if self.fail_rate > 0 and self._rng.random() < self.fail_rate:
-            raise InjectedFaultError(
-                f"injected random fault in {unit_id} "
-                f"(attempt {attempt}, rate {self.fail_rate:g})")
-
-    def maybe_corrupt_artifact(self, path) -> bool:
-        """Garble the file at *path* with probability
-        ``cache_corrupt_rate``; returns whether it did.
-
-        Called by the design-space result cache right after a
-        successful write, so injected corruption exercises exactly the
-        checksum-verification path that real bit rot or truncation
-        would.
-        """
-        if self.cache_corrupt_rate <= 0:
-            return False
-        if self._rng.random() >= self.cache_corrupt_rate:
-            return False
-        from pathlib import Path
-
-        target = Path(path)
-        data = target.read_bytes()
-        # Truncate to half and flip a byte: defeats both JSON parsing
-        # and, for short payloads, the embedded checksum.
-        cut = data[:max(1, len(data) // 2)]
-        garbled = bytes([cut[0] ^ 0xFF]) + cut[1:]
-        target.write_bytes(garbled)
-        return True
+__all__ = ["FaultPlan"]

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import threading
 import time
+import traceback
 from dataclasses import dataclass, field
 from typing import (
     Any,
@@ -47,8 +48,8 @@ from repro.errors import (
 from repro.obs import events as obs_events
 from repro.obs.metrics import get_registry
 from repro.obs.profiling import maybe_profiled
+from repro.faults import plan_from_env
 from repro.runner.checkpoint import CheckpointStore
-from repro.runner.faults import FaultPlan
 
 #: Sentinel: "no explicit plan given, consult the environment".
 _ENV_PLAN = object()
@@ -197,6 +198,12 @@ def _error_info(error: BaseException) -> Dict[str, Any]:
         "type": type(error).__name__,
         "message": str(error),
         "retryable": is_retryable(error),
+        # The formatted traceback makes a contained failure debuggable
+        # from the checkpoint / failure record alone — essential once
+        # the error crossed a process boundary and the live traceback
+        # object is gone.
+        "traceback": "".join(traceback.format_exception(
+            type(error), error, error.__traceback__)),
     }
 
 
@@ -251,8 +258,8 @@ class TaskRunner:
         self.store = CheckpointStore(run_dir) if run_dir else None
         self.resume = resume
         if fault_plan is _ENV_PLAN:
-            fault_plan = FaultPlan.from_env()
-        self.fault_plan: Optional[FaultPlan] = fault_plan
+            fault_plan = plan_from_env()
+        self.fault_plan: Optional[Any] = fault_plan
         self.raise_on_total_failure = raise_on_total_failure
         self.log = log or (lambda message: None)
         self.last_report: Optional[RunReport] = None
@@ -316,6 +323,10 @@ class TaskRunner:
                                 attempts=attempt,
                                 error=type(exc).__name__,
                                 message=str(exc),
+                                traceback="".join(
+                                    traceback.format_exception(
+                                        type(exc), exc,
+                                        exc.__traceback__)),
                                 elapsed=round(elapsed, 6))
                 return UnitOutcome(
                     unit_id=unit.unit_id, status=FAILED,

@@ -1,0 +1,125 @@
+"""Statistical invariant validation at the profile artifact boundary:
+structurally valid JSON that describes an impossible profile must be
+rejected with a ProfileValidationError naming the violation."""
+
+import copy
+
+import pytest
+
+from repro.config import baseline_config
+from repro.core.profiler import profile_trace
+from repro.core.serialization import (
+    load_profile,
+    save_profile,
+    validate_profile_invariants,
+)
+from repro.errors import ArtifactCorruptError, ProfileValidationError
+from repro.frontend.functional import run_program
+from repro.workloads.generator import WorkloadConfig, generate_program
+
+
+@pytest.fixture(scope="module")
+def profile():
+    program = generate_program(WorkloadConfig(
+        name="unit", seed=7, n_blocks=12, mean_block_size=4,
+        working_set_kb=32, n_memory_streams=4))
+    trace = run_program(program, n_instructions=1200)
+    return profile_trace(trace, baseline_config(), order=1)
+
+
+@pytest.fixture()
+def mutable(profile):
+    return copy.deepcopy(profile)
+
+
+def first_stats(profile):
+    return next(iter(profile.sfg.contexts.values()))
+
+
+class TestValidProfiles:
+    def test_real_profile_passes(self, profile):
+        validate_profile_invariants(profile)
+
+    def test_roundtrip_still_passes(self, profile, tmp_path):
+        path = tmp_path / "profile.json"
+        save_profile(profile, path)
+        loaded = load_profile(path)
+        validate_profile_invariants(loaded)
+
+
+class TestInvariantViolations:
+    def test_occurrence_total_mismatch(self, mutable):
+        first_stats(mutable).occurrences += 1
+        with pytest.raises(ProfileValidationError,
+                           match="total_block_executions"):
+            validate_profile_invariants(mutable)
+
+    def test_negative_occurrences(self, mutable):
+        stats = first_stats(mutable)
+        stats.occurrences = -stats.occurrences - 1
+        with pytest.raises(ProfileValidationError,
+                           match="negative occurrences"):
+            validate_profile_invariants(mutable)
+
+    def test_miss_count_past_occurrences(self, mutable):
+        stats = first_stats(mutable)
+        stats.il1[0] = stats.occurrences + 1
+        with pytest.raises(ProfileValidationError,
+                           match="il1 miss count"):
+            validate_profile_invariants(mutable)
+
+    def test_negative_dependency_histogram(self, mutable):
+        stats = first_stats(mutable)
+        stats.waw_hists[0][3] = -1
+        with pytest.raises(ProfileValidationError,
+                           match="histogram entry"):
+            validate_profile_invariants(mutable)
+
+    def test_taken_past_occurrences(self, mutable):
+        stats = first_stats(mutable)
+        stats.taken = stats.occurrences + 1
+        with pytest.raises(ProfileValidationError, match="taken count"):
+            validate_profile_invariants(mutable)
+
+    def test_negative_outcome_count(self, mutable):
+        stats = first_stats(mutable)
+        stats.outcome_counts[0] = -1
+        with pytest.raises(ProfileValidationError,
+                           match="outcome count"):
+            validate_profile_invariants(mutable)
+
+    def test_negative_transition_count(self, mutable):
+        history, counts = next(iter(mutable.sfg.transitions.items()))
+        block = next(iter(counts))
+        counts[block] = -1
+        with pytest.raises(ProfileValidationError,
+                           match="negative count"):
+            validate_profile_invariants(mutable)
+
+    def test_zero_sum_transition_edge(self, mutable):
+        history, counts = next(iter(mutable.sfg.transitions.items()))
+        for block in counts:
+            counts[block] = 0
+        with pytest.raises(ProfileValidationError,
+                           match="cannot\\s+normalize"):
+            validate_profile_invariants(mutable)
+
+
+class TestLoadBoundary:
+    def test_load_rejects_invalid_profile(self, mutable, tmp_path):
+        stats = first_stats(mutable)
+        stats.il1[0] = stats.occurrences + 1
+        path = tmp_path / "bad.json"
+        save_profile(mutable, path)  # checksum is recomputed: valid JSON
+        with pytest.raises(ProfileValidationError):
+            load_profile(path)
+
+    def test_validation_error_is_artifact_corrupt(self):
+        err = ProfileValidationError("x")
+        assert isinstance(err, ArtifactCorruptError)
+
+    def test_error_names_the_profile(self, mutable):
+        first_stats(mutable).occurrences += 1
+        with pytest.raises(ProfileValidationError,
+                           match=repr(mutable.name)):
+            validate_profile_invariants(mutable)
