@@ -266,6 +266,11 @@ class SweepResult:
     quarantined: int = 0
     cache_stats: Optional[Dict[str, Any]] = None
     quarantine_manifest: Optional[str] = None
+    #: Ctrl-C landed mid-sweep: the result holds only cached hits and
+    #: the evaluations that finished before the interrupt.
+    interrupted: bool = False
+    #: Tasks that never ran because of the interrupt.
+    unstarted: int = 0
 
     @property
     def ok_results(self) -> List[PointResult]:
@@ -283,6 +288,9 @@ class SweepResult:
                  f"{self.elapsed:.2f}s"]
         if self.quarantined:
             parts.insert(3, f"{self.quarantined} quarantined")
+        if self.interrupted:
+            parts.append(f"INTERRUPTED with {self.unstarted} "
+                         f"evaluation(s) never started")
         return ", ".join(parts)
 
 
@@ -477,13 +485,30 @@ class SweepEngine:
                 else:
                     pending.append(task)
 
+        interrupted = False
+        outcomes: List[Dict[str, Any]] = []
         if pending:
-            if self.jobs > 1:
-                outcomes = self._run_parallel(pending)
-            else:
-                outcomes = self._run_serial(pending)
-        else:
-            outcomes = []
+            try:
+                if self.jobs > 1:
+                    outcomes = self._run_parallel(pending)
+                else:
+                    outcomes = self._run_serial(pending)
+            except KeyboardInterrupt as exc:
+                # Ctrl-C: keep whatever finished (the supervisor ships
+                # its collected outcomes on the exception; the serial
+                # path has none), report the sweep as interrupted and
+                # let the caller exit with the interrupt status code
+                # instead of a raw pool traceback.
+                interrupted = True
+                outcomes = list(getattr(exc, "outcomes", []))
+                obs_events.emit(
+                    "sweep_interrupted", level="warning",
+                    msg=(f"sweep interrupted: {len(outcomes)} of "
+                         f"{len(pending)} dispatched evaluation(s) "
+                         f"finished; writing the partial report"),
+                    experiment=self.experiment,
+                    benchmark=self.benchmark,
+                    finished=len(outcomes), pending=len(pending))
 
         evaluated = failed = quarantined = recipe_reuse = 0
         for outcome in outcomes:
@@ -559,6 +584,7 @@ class SweepEngine:
                         benchmark=self.benchmark,
                         evaluated=evaluated, cached=cached,
                         failed=failed, quarantined=quarantined,
+                        interrupted=interrupted,
                         elapsed=round(elapsed, 6))
         return SweepResult(
             results=results,
@@ -573,4 +599,7 @@ class SweepEngine:
             cache_stats=(self.cache.stats.to_payload()
                          if self.cache is not None else None),
             quarantine_manifest=(str(manifest) if manifest else None),
+            interrupted=interrupted,
+            unstarted=(len(pending) - len(outcomes) if interrupted
+                       else 0),
         )

@@ -129,7 +129,10 @@ def run_study(
     study.ss_optimal = ranked[0]
     study.shortlist = verification_shortlist(sweep.results,
                                              verify_margin)
-    if not verify:
+    # An interrupted sweep's "optimum" is whatever happened to finish;
+    # spending minutes execution-verifying it would be misleading (and
+    # the user just asked to stop).
+    if not verify or sweep.interrupted:
         return study
 
     verified: List[Tuple[float, PointResult]] = []

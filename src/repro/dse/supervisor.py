@@ -43,7 +43,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 
-from repro.errors import WorkerCrashError
+from repro.errors import SweepInterrupted, WorkerCrashError
 from repro.obs import events as obs_events
 from repro.obs.metrics import get_registry
 from repro.runner import RunnerPolicy
@@ -382,6 +382,16 @@ class PoolSupervisor:
                              f"task(s), {len(pending)} remain)"),
                         completed=completed, remaining=len(pending))
                     pool = self._make_pool()
+        except KeyboardInterrupt:
+            # Ctrl-C mid-sweep: abandon the pool without waiting (its
+            # workers got the same SIGINT), persist what supervision
+            # learned so far, and hand the completed outcomes to the
+            # engine so the partial sweep is reported, not discarded.
+            if pool is not None:
+                pool.shutdown(wait=False, cancel_futures=True)
+                pool = None
+            self.quarantine.write()
+            raise SweepInterrupted(outcomes) from None
         finally:
             if pool is not None:
                 pool.shutdown(wait=True, cancel_futures=True)

@@ -18,6 +18,7 @@ See ``docs/observability.md`` for the event schema and metric catalog.
 from repro.obs.events import (
     REQUIRED_FIELDS,
     SCHEMA,
+    add_sink,
     configure,
     debug,
     emit,
@@ -26,6 +27,7 @@ from repro.obs.events import (
     is_configured,
     log_json_path,
     new_run_id,
+    remove_sink,
     reset,
     run_id,
     warn,
@@ -54,9 +56,9 @@ from repro.obs.tracing import (
 )
 
 __all__ = [
-    "REQUIRED_FIELDS", "SCHEMA", "configure", "debug", "emit", "error",
-    "info", "is_configured", "log_json_path", "new_run_id", "reset",
-    "run_id", "warn",
+    "REQUIRED_FIELDS", "SCHEMA", "add_sink", "configure", "debug",
+    "emit", "error", "info", "is_configured", "log_json_path",
+    "new_run_id", "remove_sink", "reset", "run_id", "warn",
     "SNAPSHOT_SCHEMA", "Counter", "Gauge", "MetricsRegistry",
     "TimingHistogram", "get_registry", "record_simulation",
     "reset_registry", "set_registry",

@@ -53,6 +53,13 @@ _LOGGER.propagate = False
 #: injection point so events.py never imports tracing.py.
 _CONTEXT_PROVIDERS: List[Callable[[], Dict[str, Any]]] = []
 
+#: In-process subscribers receiving every emitted payload dict (the
+#: service daemon registers one to stream job lifecycle events to
+#: ``repro tail`` clients).  Sinks see events regardless of handler
+#: levels — a tailing client wants debug-level job progress even when
+#: the daemon's console does not.
+_SINKS: List[Callable[[Dict[str, Any]], None]] = []
+
 
 class _State:
     """Mutable per-process observability state."""
@@ -77,6 +84,24 @@ def register_context_provider(
     precedence) into every emitted event."""
     if provider not in _CONTEXT_PROVIDERS:
         _CONTEXT_PROVIDERS.append(provider)
+
+
+def add_sink(sink: Callable[[Dict[str, Any]], None]) -> None:
+    """Subscribe *sink* to every emitted event payload.
+
+    Sinks run synchronously on the emitting thread and must never
+    raise (failures are swallowed — observability cannot take down the
+    observed).  They bypass handler level gates, so register sinks
+    sparingly: every emit pays for them.
+    """
+    if sink not in _SINKS:
+        _SINKS.append(sink)
+
+
+def remove_sink(sink: Callable[[Dict[str, Any]], None]) -> None:
+    """Unsubscribe a sink registered with :func:`add_sink`."""
+    if sink in _SINKS:
+        _SINKS.remove(sink)
 
 
 def new_run_id() -> str:
@@ -177,13 +202,20 @@ def emit(event: str, msg: Optional[str] = None, level: str = "info",
     levelno = _LEVELS[level]
     handlers = _LOGGER.handlers
     if handlers:
-        if levelno < min(h.level for h in handlers):
-            return
-    elif levelno < logging.WARNING:
+        handled = levelno >= min(h.level for h in handlers)
+    else:
+        handled = levelno >= logging.WARNING
+    if not handled and not _SINKS:
         return
     payload = _event_payload(event, msg, level, fields)
-    _LOGGER.log(levelno, msg if msg is not None else event,
-                extra={"repro_event": payload})
+    for sink in list(_SINKS):
+        try:
+            sink(payload)
+        except Exception:  # noqa: BLE001 — sinks must never break emit
+            pass
+    if handled:
+        _LOGGER.log(levelno, msg if msg is not None else event,
+                    extra={"repro_event": payload})
 
 
 def error(msg: str, event: str = "error", **fields: Any) -> None:
@@ -259,8 +291,10 @@ def configure(
 
 
 def reset() -> None:
-    """Tear down handlers and state (tests; end of a CLI run)."""
+    """Tear down handlers, sinks and state (tests; end of a CLI
+    run)."""
     _close_handlers()
+    _SINKS.clear()
     _STATE.run_id = None
     _STATE.t0 = time.monotonic()
     _STATE.seq = 0

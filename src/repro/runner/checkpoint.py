@@ -17,6 +17,7 @@ Layout::
 from __future__ import annotations
 
 import hashlib
+import itertools
 import json
 import os
 import re
@@ -27,6 +28,11 @@ from repro.errors import ArtifactCorruptError
 
 _CHECKSUM_KEY = "checksum"
 _UNSAFE = re.compile(r"[^A-Za-z0-9._=-]")
+
+#: Per-process counter making concurrent temp-file names unique even
+#: within one process (threaded writers share the pid);
+#: ``itertools.count`` increments atomically under the GIL.
+_TMP_SERIAL = itertools.count(1)
 
 
 def payload_checksum(payload: Dict) -> str:
@@ -39,16 +45,23 @@ def payload_checksum(payload: Dict) -> str:
 def write_json_atomic(path: Union[str, Path], payload: Dict) -> None:
     """Write *payload* (plus its checksum) to *path* atomically.
 
-    The data lands in ``<path>.tmp`` first and is moved into place with
-    ``os.replace``, so readers only ever observe the old file or the
-    complete new one — never a truncation.
+    The data lands in a uniquely named ``<path>.<pid>.<n>.tmp`` first
+    and is moved into place with ``os.replace``, so readers only ever
+    observe the old file or the complete new one — never a truncation
+    — and two processes racing to write the same path (a shared result
+    cache) cannot interleave inside one temp file; last rename wins
+    with both candidates complete.
     """
     path = Path(path)
     document = dict(payload)
     document[_CHECKSUM_KEY] = payload_checksum(payload)
-    tmp = path.with_name(path.name + ".tmp")
-    tmp.write_text(json.dumps(document))
-    os.replace(tmp, path)
+    tmp = path.with_name(
+        f"{path.name}.{os.getpid()}.{next(_TMP_SERIAL)}.tmp")
+    try:
+        tmp.write_text(json.dumps(document))
+        os.replace(tmp, path)
+    finally:
+        tmp.unlink(missing_ok=True)
 
 
 def read_json_checked(path: Union[str, Path]) -> Dict:

@@ -1,0 +1,26 @@
+"""Simulation service: a durable job daemon for design-space sweeps.
+
+``repro serve`` turns one machine into a small, crash-safe sweep
+server: submissions are content-addressed and idempotent, every
+acknowledged state change is write-ahead journaled, and restart —
+including after ``kill -9`` — recovers exactly the acknowledged state
+and requeues orphaned work.  ``repro submit / jobs / tail / cancel``
+are the client side.  See ``docs/service.md`` for the full contract.
+"""
+
+from repro.service.client import ServiceClient
+from repro.service.daemon import (
+    Daemon,
+    ServiceConfig,
+    default_socket_path,
+    serve,
+)
+from repro.service.jobs import Job, JobStore, job_key
+from repro.service.journal import Journal
+from repro.service.runner import run_job
+
+__all__ = [
+    "Daemon", "Job", "JobStore", "Journal", "ServiceClient",
+    "ServiceConfig", "default_socket_path", "job_key", "run_job",
+    "serve",
+]

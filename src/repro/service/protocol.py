@@ -1,0 +1,57 @@
+"""Wire protocol for the simulation service: JSON lines over a Unix
+socket.
+
+One request or response per line, UTF-8 JSON, ``\\n``-terminated.
+Requests carry ``cmd`` plus command-specific fields; responses carry
+``ok`` plus either the result or ``error``/``reason``/``retry_after``.
+Streaming commands (``tail``) send many lines and finish with a
+``{"tail_end": true}`` marker.  The format is deliberately trivial:
+any language — or ``nc -U`` — can speak it, and a torn line (daemon
+killed mid-write) fails JSON parsing instead of being half-believed.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Optional
+
+#: Protocol revision, echoed by ``ping`` so clients can detect skew.
+PROTOCOL = 1
+
+#: A request/response line larger than this is a protocol violation
+#: (or an attack on the daemon's memory); the connection is dropped.
+MAX_LINE = 1 << 20
+
+
+def encode(message: Dict[str, Any]) -> bytes:
+    """One wire line for *message* (compact JSON + newline)."""
+    return (json.dumps(message, sort_keys=True,
+                       separators=(",", ":")) + "\n").encode("utf-8")
+
+
+def decode(line: bytes) -> Optional[Dict[str, Any]]:
+    """The message on *line*, or None for blank/torn/foreign input."""
+    text = line.decode("utf-8", errors="replace").strip()
+    if not text:
+        return None
+    try:
+        message = json.loads(text)
+    except json.JSONDecodeError:
+        return None
+    return message if isinstance(message, dict) else None
+
+
+def ok(**fields: Any) -> Dict[str, Any]:
+    return {"ok": True, **fields}
+
+
+def reject(reason: str, message: str,
+           retry_after: Optional[float] = None) -> Dict[str, Any]:
+    """An admission-control rejection: *reason* is machine-readable
+    (``queue-full``, ``client-cap``, ``draining``), *retry_after* the
+    daemon's backoff hint in seconds."""
+    response: Dict[str, Any] = {"ok": False, "reason": reason,
+                                "error": message}
+    if retry_after is not None:
+        response["retry_after"] = retry_after
+    return response

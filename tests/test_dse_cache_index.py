@@ -1,0 +1,143 @@
+"""Result-cache index: maintained counts/sizes, LRU eviction, and
+self-healing after index loss or drift."""
+
+import json
+import time
+
+import pytest
+
+from repro.dse.cache import INDEX_FORMAT, ResultCache, result_key
+
+
+def make_cache(tmp_path, **kwargs):
+    return ResultCache(tmp_path / "cache", fault_plan=None, **kwargs)
+
+
+def put_n(cache, n, start=0, pause=0.0):
+    keys = []
+    for i in range(start, start + n):
+        key = result_key(f"profile{i}", "config", i, 4.0)
+        cache.put(key, {"ipc": float(i)})
+        keys.append(key)
+        if pause:
+            time.sleep(pause)
+    return keys
+
+
+class TestMaintainedIndex:
+    def test_len_and_bytes_track_puts(self, tmp_path):
+        cache = make_cache(tmp_path)
+        assert len(cache) == 0
+        assert cache.total_bytes() == 0
+        keys = put_n(cache, 5)
+        assert len(cache) == 5
+        on_disk = sum(cache._path(key).stat().st_size for key in keys)
+        assert cache.total_bytes() == on_disk
+
+    def test_len_without_directory_scan(self, tmp_path, monkeypatch):
+        """__len__ must come from the index, not a glob over objects."""
+        cache = make_cache(tmp_path)
+        put_n(cache, 4)
+        import pathlib
+
+        def no_glob(self, pattern):
+            raise AssertionError("len() must not glob object files")
+
+        monkeypatch.setattr(pathlib.Path, "glob", no_glob)
+        assert len(cache) == 4
+
+    def test_corrupt_discard_updates_index(self, tmp_path):
+        cache = make_cache(tmp_path)
+        [key] = put_n(cache, 1)
+        path = cache._path(key)
+        path.write_text(path.read_text().replace('"ipc"', '"ipX"'))
+        assert cache.get(key) is None
+        assert cache.stats.corrupt_discarded == 1
+        assert len(cache) == 0
+
+    def test_second_instance_sees_the_index(self, tmp_path):
+        put_n(make_cache(tmp_path), 3)
+        fresh = make_cache(tmp_path)
+        assert len(fresh) == 3
+
+
+class TestSelfHealing:
+    def test_deleted_index_rebuilds_from_objects(self, tmp_path):
+        cache = make_cache(tmp_path)
+        keys = put_n(cache, 4)
+        for path in (cache.cache_dir / "index").glob("*.json"):
+            path.unlink()
+        assert len(cache) == 4
+        assert all(cache.get(key) is not None for key in keys)
+
+    def test_corrupt_index_rebuilds(self, tmp_path):
+        cache = make_cache(tmp_path)
+        put_n(cache, 4)
+        for path in (cache.cache_dir / "index").glob("*.json"):
+            path.write_text("garbage{{{")
+        assert len(cache) == 4
+
+    def test_wrong_format_index_rebuilds(self, tmp_path):
+        cache = make_cache(tmp_path)
+        [key] = put_n(cache, 1)
+        from repro.runner.checkpoint import write_json_atomic
+
+        write_json_atomic(cache._index_path(key[:2]),
+                          {"format": INDEX_FORMAT + 1, "entries": {}})
+        assert len(cache) == 1
+
+    def test_rebuild_index_reports_drift(self, tmp_path):
+        cache = make_cache(tmp_path)
+        keys = put_n(cache, 3)
+        # Remove an object behind the cache's back; the index drifts.
+        cache._path(keys[0]).unlink()
+        count, size = cache.rebuild_index()
+        assert count == 2
+        assert len(cache) == 2
+        assert size == cache.total_bytes()
+
+
+class TestEviction:
+    def test_max_entries_evicts_lru(self, tmp_path):
+        cache = make_cache(tmp_path, max_entries=3)
+        keys = put_n(cache, 3, pause=0.02)
+        # Touch the oldest so it becomes most-recent.
+        assert cache.get(keys[0]) is not None
+        time.sleep(0.02)
+        put_n(cache, 1, start=10)
+        assert len(cache) == 3
+        assert cache.get(keys[1]) is None  # the true LRU went
+        assert cache.get(keys[0]) is not None
+        assert cache.stats.evictions == 1
+
+    def test_max_bytes_evicts_until_under(self, tmp_path):
+        probe = make_cache(tmp_path / "probe")
+        [key] = put_n(probe, 1)
+        entry_size = probe._path(key).stat().st_size
+        cache = make_cache(tmp_path, max_bytes=int(entry_size * 2.5))
+        put_n(cache, 4, pause=0.02)
+        assert len(cache) == 2
+        assert cache.total_bytes() <= int(entry_size * 2.5)
+        assert cache.stats.evictions == 2
+
+    def test_unbounded_cache_never_evicts(self, tmp_path):
+        cache = make_cache(tmp_path)
+        put_n(cache, 10)
+        assert len(cache) == 10
+        assert cache.stats.evictions == 0
+
+    def test_bounds_validated(self, tmp_path):
+        with pytest.raises(ValueError, match="max_entries"):
+            make_cache(tmp_path, max_entries=0)
+        with pytest.raises(ValueError, match="max_bytes"):
+            make_cache(tmp_path / "b", max_bytes=0)
+
+    def test_eviction_preserves_survivors(self, tmp_path):
+        cache = make_cache(tmp_path, max_entries=2)
+        keys = put_n(cache, 5, pause=0.02)
+        survivors = [key for key in keys
+                     if cache._path(key).exists()]
+        assert len(survivors) == 2
+        for key in survivors:
+            entry = cache.get(key)
+            assert entry is not None and "metrics" in entry
