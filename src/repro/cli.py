@@ -13,6 +13,10 @@ Commands mirror the paper's workflow:
   protocol as a first-class subsystem; see ``docs/design_space.md``);
 * ``bench`` — time the hot paths before/after the performance overhaul
   and write ``BENCH_hotpath.json`` (see ``docs/performance.md``);
+* ``fuzz`` — differential fuzzing and statistical acceptance: seeded
+  random programs through both pipeline implementations plus the
+  profile → synthesize loop, with failure minimization and a replayable
+  regression corpus (see ``docs/fuzzing.md``);
 * ``serve`` / ``submit`` / ``jobs`` / ``tail`` / ``cancel`` — the
   durable simulation service: a crash-safe job daemon over a
   write-ahead journaled store, with idempotent content-addressed
@@ -303,6 +307,50 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--tolerance", type=_positive_float, default=0.15,
                        help="allowed fractional slack below the pinned "
                             "baseline speedups (default: 0.15)")
+
+    fuzz = sub.add_parser(
+        "fuzz", parents=[obs_parent],
+        help="differential fuzzing + statistical acceptance "
+             "(see docs/fuzzing.md)")
+    fuzz.add_argument("--cases", type=_positive_int, default=25,
+                      help="number of seeded cases to run "
+                           "(default: 25)")
+    fuzz.add_argument("--seed", type=int, default=0,
+                      help="fuzz stream seed; identical (seed, cases) "
+                           "invocations produce identical verdicts "
+                           "(default: 0)")
+    fuzz.add_argument("--corpus", default=None, metavar="DIR",
+                      help="corpus directory: failing cases are "
+                           "minimized and written here; required "
+                           "with --replay")
+    fuzz.add_argument("--replay", action="store_true",
+                      help="instead of generating cases, replay every "
+                           "entry in --corpus and fail if a pinned "
+                           "bug regressed")
+    fuzz.add_argument("--stats-only", default=None, metavar="STATS.json",
+                      help="write the deterministic JSON summary "
+                           "(verdict counts, acceptance margins per "
+                           "statistic) to this path")
+    fuzz.add_argument("--timeout", type=_positive_float, default=None,
+                      metavar="SECONDS",
+                      help="wall-clock budget per fuzz case")
+    fuzz.add_argument("--retries", type=_non_negative_int, default=0,
+                      help="retry budget per case (default: 0; a fuzz "
+                           "failure is deterministic, retries only "
+                           "matter under chaos)")
+    fuzz.add_argument("--max-shrink-trials", type=_positive_int,
+                      default=200,
+                      help="predicate evaluations the minimizer may "
+                           "spend per failing case (default: 200)")
+    fuzz.add_argument("--no-minimize", action="store_true",
+                      help="file failing cases unshrunk (faster triage "
+                           "of a broad breakage)")
+    fuzz.add_argument(
+        "--chaos", default=None, metavar="SPEC",
+        help="deterministic fault-injection spec (same grammar as "
+             "REPRO_CHAOS; the pipeline-skew site plants a one-cycle "
+             "discrepancy the oracle must catch); overrides the "
+             "environment")
 
     analyze = sub.add_parser(
         "analyze", parents=[obs_parent],
@@ -761,6 +809,70 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.fuzz import FuzzPolicy, replay_corpus, run_fuzz
+
+    chaos = _parse_chaos_arg(args)
+    if chaos is None:
+        return 2
+
+    if args.replay:
+        if not args.corpus:
+            obs.error("--replay requires --corpus (the directory of "
+                      "entries to replay)", event="cli_error")
+            return 2
+        results = replay_corpus(args.corpus)
+        failures = [result for result in results if not result.passed]
+        for result in results:
+            status = "ok" if result.passed else "REGRESSED"
+            print(f"{result.case_id} [{result.kind}]: {status}"
+                  + (f" ({result.detail})" if result.detail else ""))
+        print(f"{len(results)} corpus entr"
+              f"{'y' if len(results) == 1 else 'ies'} replayed, "
+              f"{len(failures)} regressed")
+        return 1 if failures else 0
+
+    policy = FuzzPolicy(
+        cases=args.cases,
+        seed=args.seed,
+        timeout=args.timeout,
+        retries=args.retries,
+        corpus_dir=args.corpus,
+        max_trials=args.max_shrink_trials,
+        minimize=not args.no_minimize,
+    )
+    kwargs = {}
+    if chaos is not _NO_CHAOS:
+        kwargs["chaos"] = chaos
+    report = run_fuzz(policy, log=obs.debug, **kwargs)
+
+    for verdict in report.verdicts:
+        if verdict.status == "ok":
+            continue
+        line = f"{verdict.case_id}: {verdict.status} — {verdict.detail}"
+        if verdict.minimization:
+            line += (f" (minimized "
+                     f"{verdict.minimization['original_size']} -> "
+                     f"{verdict.minimization['minimized_size']} static "
+                     f"instructions)")
+        if verdict.corpus_path:
+            line += f" [{verdict.corpus_path}]"
+        print(line)
+    print(report.summary())
+
+    if args.stats_only:
+        payload = report.stats_payload()
+        stats_path = Path(args.stats_only)
+        if stats_path.parent != Path(""):
+            stats_path.parent.mkdir(parents=True, exist_ok=True)
+        stats_path.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print(f"stats written to {args.stats_only}")
+    return 0 if report.passed else 1
+
+
 def _cmd_analyze(args: argparse.Namespace) -> int:
     from repro.core.analysis import (hottest_contexts,
                                      reduced_connectivity,
@@ -1028,6 +1140,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_dse(args)
     if args.command == "bench":
         return _cmd_bench(args)
+    if args.command == "fuzz":
+        return _cmd_fuzz(args)
     if args.command == "analyze":
         return _cmd_analyze(args)
     if args.command == "validate":

@@ -257,16 +257,24 @@ def validate_profile_invariants(profile: StatisticalProfile) -> None:
                         f"{where} slot {slot}: {name} miss count "
                         f"{counter[slot]} outside [0, occurrences="
                         f"{stats.occurrences}]")
-            hists = [hist for hist in stats.dep_hists[slot]]
-            hists.append(stats.waw_hists[slot])
-            hists.append(stats.war_hists[slot])
-            for hist in hists:
+            named_hists = [
+                (f"dep_hists[operand={operand}]", hist)
+                for operand, hist in enumerate(stats.dep_hists[slot])
+            ]
+            named_hists.append(("waw_hists", stats.waw_hists[slot]))
+            named_hists.append(("war_hists", stats.war_hists[slot]))
+            for statistic, hist in named_hists:
                 for distance, count in hist.items():
-                    if distance < 0 or count < 0:
+                    if distance < 0:
                         raise bad(
-                            f"{where} slot {slot}: dependency "
-                            f"histogram entry ({distance}: {count}) "
-                            f"is negative")
+                            f"{where} slot {slot}: statistic "
+                            f"{statistic} histogram entry has negative "
+                            f"distance {distance} (count {count})")
+                    if count < 0:
+                        raise bad(
+                            f"{where} slot {slot}: statistic "
+                            f"{statistic} histogram entry for distance "
+                            f"{distance} has negative count {count}")
         if not 0 <= stats.taken <= stats.occurrences:
             raise bad(f"{where}: taken count {stats.taken} outside "
                       f"[0, occurrences={stats.occurrences}]")

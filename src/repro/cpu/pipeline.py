@@ -101,8 +101,16 @@ class SuperscalarPipeline:
         self.config = config
         self.source = source
 
-    def run(self, max_cycles: Optional[int] = None) -> SimulationResult:
-        """Simulate until the source drains; return the result."""
+    def run(self, max_cycles: Optional[int] = None,
+            commit_log: Optional[list] = None) -> SimulationResult:
+        """Simulate until the source drains; return the result.
+
+        When *commit_log* is a list, every retired instruction appends
+        ``(cycle, pseq)`` to it in retirement order — the differential
+        fuzzing oracle (:mod:`repro.fuzz.oracle`) diffs this schedule
+        against the reference pipeline's.  ``None`` (the default) keeps
+        the commit stage allocation-free.
+        """
         config = self.config
         source = self.source
         fetch_width = config.fetch_width
@@ -215,6 +223,8 @@ class SuperscalarPipeline:
                 if head.is_mem:
                     lsq_count -= 1
                 retired += 1
+                if commit_log is not None:
+                    commit_log.append((cycle, head.pseq))
                 # Recycle: a committed record is inert everywhere it
                 # may still appear (completed=True short-circuits the
                 # dependency paths), so clearing those references and

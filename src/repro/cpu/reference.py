@@ -69,8 +69,15 @@ class ReferencePipeline:
         self.config = config
         self.source = source
 
-    def run(self, max_cycles: Optional[int] = None) -> SimulationResult:
-        """Simulate until the source drains; return the result."""
+    def run(self, max_cycles: Optional[int] = None,
+            commit_log: Optional[list] = None) -> SimulationResult:
+        """Simulate until the source drains; return the result.
+
+        When *commit_log* is a list, every retired instruction appends
+        ``(cycle, pseq)`` in retirement order — the same hook the
+        optimized pipeline exposes, so the differential fuzzing oracle
+        can diff retirement schedules cycle-for-cycle.
+        """
         config = self.config
         source = self.source
         fetch_width = config.fetch_width
@@ -146,6 +153,8 @@ class ReferencePipeline:
                     lsq_count -= 1
                 committed += 1
                 retired += 1
+                if commit_log is not None:
+                    commit_log.append((cycle, head.pseq))
             activity["commit"] += retired
 
             # ------------------------------------------------- writeback

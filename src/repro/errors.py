@@ -58,6 +58,23 @@ class SweepSpecError(ReproError, ValueError):
     malformed: unknown mode, unsweepable field, or empty expansion."""
 
 
+class WorkloadSpecError(ReproError, ValueError):
+    """A workload specification (:class:`~repro.workloads.generator.
+    WorkloadConfig`) describes an impossible program: no instruction
+    classes with positive mass, memory instructions without memory
+    streams, branch fractions that cannot form a distribution.
+    Subclasses :class:`ValueError` so pre-hierarchy callers keep
+    working."""
+
+
+class FuzzDiscrepancyError(ReproError):
+    """The differential fuzzing oracle (:mod:`repro.fuzz`) found the
+    optimized pipeline and the frozen reference disagreeing on a
+    generated program, or a synthetic stream's statistics falling
+    outside the acceptance tolerances.  Not retryable: the discrepancy
+    is deterministic given the case seed."""
+
+
 class ChaosSpecError(ReproError, ValueError):
     """A ``REPRO_CHAOS`` chaos-injection spec string
     (:mod:`repro.faults`) is malformed: unknown site, unknown key, or

@@ -39,6 +39,13 @@ hooks.  The injection *sites*:
     Skip a running job's lease-heartbeat write
     (:mod:`repro.service.jobs`), so the lease goes stale and a
     restarted daemon requeues the job exactly like a crashed one.
+``pipeline-skew``
+    Perturb the optimized pipeline's result inside the differential
+    fuzzing oracle (:mod:`repro.fuzz.oracle`): the reference and the
+    optimized run disagree by one cycle, as a real event-driven
+    fast-forward bug would look.  This is the fuzz harness testing
+    itself — the oracle must catch the skew, and the minimizer must
+    shrink the case to a small reproducer.
 
 Spec grammar (segments split on ``;``, site options on ``,``)::
 
@@ -82,7 +89,7 @@ from repro.errors import ChaosSpecError, InjectedFaultError, InjectedIOError
 #: Every site name the spec grammar accepts.
 SITES = ("worker-kill", "task-fail", "io-error", "artifact-corrupt",
          "slow-call", "journal-corrupt", "submit-drop",
-         "heartbeat-loss")
+         "heartbeat-loss", "pipeline-skew")
 
 #: Exit status used by the worker-kill site; distinctive on purpose so
 #: supervisor logs and tests can tell an injected kill from a real one.
@@ -327,6 +334,15 @@ class ChaosPlan:
         """heartbeat-loss site: whether this lease-heartbeat write
         should be skipped, letting the lease go stale."""
         return self.fires("heartbeat-loss", token, attempt)
+
+    def skews_pipeline(self, token: str) -> bool:
+        """pipeline-skew site: whether the differential oracle should
+        perturb the optimized pipeline's result for this fuzz case.
+
+        The decision token is the case id, so a skewed case stays
+        skewed through every minimization trial — exactly what the
+        shrinker needs to reduce it to a minimal reproducer."""
+        return self.fires("pipeline-skew", token)
 
 
 def active_sites(plan) -> Tuple[str, ...]:

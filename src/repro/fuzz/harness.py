@@ -1,0 +1,410 @@
+"""The fuzzing harness: case loop, verdicts, corpus and replay.
+
+One fuzz *case* is evaluated in two layers:
+
+1. **differential** — the case's program runs through the optimized and
+   the frozen reference pipeline; any divergence (fields or retirement
+   schedule) is a failure (:mod:`repro.fuzz.oracle`);
+2. **acceptance** — the paper's profile → reduce → synthesize loop runs
+   on the same trace, and the synthetic statistics must converge to the
+   profile within scaled tolerances (:mod:`repro.fuzz.acceptance`).
+
+Failures are minimized (:mod:`repro.fuzz.minimize`) and written to the
+corpus (:mod:`repro.fuzz.corpus`).  Cases execute under the shared
+:class:`~repro.runner.TaskRunner`, so per-case timeouts, retries and
+crash containment behave exactly like ``repro experiment``; chaos
+injection (``REPRO_CHAOS``) composes — ``task-fail``/``slow-call``
+exercise the containment, and the dedicated ``pipeline-skew`` site
+plants a deliberate one-cycle discrepancy that must be caught,
+minimized and corpus-filed (the end-to-end canary for the oracle
+itself).
+
+Everything is deterministic given ``(seed, case count, tolerances)``:
+identical invocations produce identical verdicts, which is what makes
+``repro fuzz --stats-only`` trackable over time like the benchmark
+suite.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro import obs
+from repro.faults import plan_from_env
+from repro.fuzz.acceptance import (
+    AcceptanceReport,
+    ToleranceConfig,
+    acceptance_report,
+)
+from repro.fuzz.corpus import (
+    CorpusEntry,
+    list_entries,
+    load_entry,
+    program_from_dict,
+    program_to_dict,
+    save_entry,
+)
+from repro.fuzz.generator import FuzzCase, case_from_dict, random_case
+from repro.fuzz.minimize import minimize_program
+from repro.fuzz.oracle import diff_program
+from repro.errors import FuzzDiscrepancyError
+from repro.obs.metrics import get_registry
+from repro.obs.tracing import trace_span
+from repro.runner import RunnerPolicy, TaskRunner, WorkUnit
+
+#: "no chaos argument given": resolve from the environment, like the
+#: runner does.
+_ENV_CHAOS = object()
+
+OK = "ok"
+DIFFERENTIAL = "differential"
+ACCEPTANCE = "acceptance"
+ERROR = "error"
+
+
+@dataclass(frozen=True)
+class FuzzPolicy:
+    """Knobs of one fuzzing run."""
+
+    cases: int = 25
+    seed: int = 0
+    timeout: Optional[float] = None
+    retries: int = 0
+    corpus_dir: Optional[str] = None
+    max_trials: int = 200
+    tolerances: ToleranceConfig = field(default_factory=ToleranceConfig)
+    minimize: bool = True
+
+
+@dataclass
+class CaseVerdict:
+    """The outcome of one fuzz case."""
+
+    case_id: str
+    status: str  # ok | differential | acceptance | error
+    detail: str = ""
+    #: Acceptance margins per statistic (tolerance - deviation; negative
+    #: means the statistic failed).  Empty when acceptance never ran.
+    margins: Dict[str, float] = field(default_factory=dict)
+    skew_injected: bool = False
+    corpus_path: Optional[str] = None
+    minimization: Dict = field(default_factory=dict)
+
+    def to_dict(self) -> Dict:
+        return {
+            "case_id": self.case_id,
+            "status": self.status,
+            "detail": self.detail,
+            "margins": self.margins,
+            "skew_injected": self.skew_injected,
+            "corpus_path": self.corpus_path,
+            "minimization": self.minimization,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "CaseVerdict":
+        return cls(
+            case_id=data["case_id"],
+            status=data["status"],
+            detail=data.get("detail", ""),
+            margins=dict(data.get("margins", {})),
+            skew_injected=data.get("skew_injected", False),
+            corpus_path=data.get("corpus_path"),
+            minimization=dict(data.get("minimization", {})),
+        )
+
+
+@dataclass
+class FuzzReport:
+    """Aggregate outcome of one fuzzing run."""
+
+    seed: int
+    verdicts: List[CaseVerdict] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return all(verdict.status == OK for verdict in self.verdicts)
+
+    def count(self, status: str) -> int:
+        return sum(1 for verdict in self.verdicts
+                   if verdict.status == status)
+
+    def summary(self) -> str:
+        return (f"{len(self.verdicts)} cases: {self.count(OK)} ok, "
+                f"{self.count(DIFFERENTIAL)} differential, "
+                f"{self.count(ACCEPTANCE)} acceptance, "
+                f"{self.count(ERROR)} error")
+
+    def stats_payload(self) -> Dict:
+        """The deterministic JSON summary behind ``--stats-only``.
+
+        No wall-clock fields: two runs with the same seed and case
+        count produce byte-identical payloads, so the file diffs
+        cleanly in CI history (like ``BENCH_hotpath.json``).
+        """
+        margins: Dict[str, List[float]] = {}
+        for verdict in self.verdicts:
+            for name, margin in verdict.margins.items():
+                margins.setdefault(name, []).append(margin)
+        margin_stats = {
+            name: {
+                "min": min(values),
+                "mean": sum(values) / len(values),
+                "cases": len(values),
+            }
+            for name, values in sorted(margins.items())
+        }
+        return {
+            "schema": 1,
+            "cases": len(self.verdicts),
+            "seed": self.seed,
+            "verdicts": {
+                OK: self.count(OK),
+                DIFFERENTIAL: self.count(DIFFERENTIAL),
+                ACCEPTANCE: self.count(ACCEPTANCE),
+                ERROR: self.count(ERROR),
+            },
+            "acceptance_margins": margin_stats,
+            "failed_cases": [verdict.to_dict()
+                             for verdict in self.verdicts
+                             if verdict.status != OK],
+        }
+
+
+def _acceptance_fails(program, n_instructions: int, case: FuzzCase,
+                      tolerances: ToleranceConfig) -> bool:
+    """Re-run the statistical loop on a shrunken program; True = still
+    out of tolerance (the minimization predicate for acceptance
+    failures)."""
+    from repro.core.profiler import profile_trace
+    from repro.core.synthesis import generate_synthetic_trace
+    from repro.frontend.functional import run_program
+
+    config = case.machine_config()
+    trace = run_program(program, n_instructions, warmup=case.warmup)
+    profile = profile_trace(trace, config, order=case.order)
+    synthetic = generate_synthetic_trace(profile, case.reduction_factor,
+                                         seed=case.synthesis_seed)
+    return not acceptance_report(profile, synthetic, tolerances).passed
+
+
+def evaluate_case(case: FuzzCase, policy: FuzzPolicy,
+                  chaos=None) -> CaseVerdict:
+    """Run the differential + acceptance checks for one case."""
+    from repro.core.profiler import profile_trace
+    from repro.core.synthesis import generate_synthetic_trace
+    from repro.frontend.functional import run_program
+
+    registry = get_registry()
+    config = case.machine_config()
+    program = case.program()
+
+    with trace_span("fuzz.case", case=case.case_id):
+        # ---- layer 1: differential oracle --------------------------
+        diff = diff_program(program, config, case.trace_instructions,
+                            warmup=case.warmup, chaos=chaos,
+                            token=case.case_id)
+        if not diff.identical:
+            registry.counter("fuzz.differential").inc()
+            obs.warn(f"{case.case_id}: pipelines diverged "
+                     f"({diff.summary()})",
+                     event="fuzz.divergence", case=case.case_id,
+                     injected=diff.skew_injected)
+            verdict = CaseVerdict(case_id=case.case_id,
+                                  status=DIFFERENTIAL,
+                                  detail=diff.summary(),
+                                  skew_injected=diff.skew_injected)
+            if policy.minimize:
+                minimized = minimize_program(
+                    program, case.trace_instructions,
+                    lambda prog, n: not diff_program(
+                        prog, config, n, warmup=case.warmup,
+                        chaos=chaos, token=case.case_id).identical,
+                    max_trials=policy.max_trials)
+                registry.counter("fuzz.minimized").inc()
+                verdict.minimization = minimized.to_dict()
+                program = minimized.program
+            if policy.corpus_dir:
+                entry = CorpusEntry(
+                    case_id=case.case_id, kind=DIFFERENTIAL,
+                    case=case.to_dict(), report=diff.to_dict(),
+                    program=program_to_dict(program),
+                    minimization=verdict.minimization,
+                    chaos_spec=(chaos.to_spec()
+                                if hasattr(chaos, "to_spec") else None),
+                    skew_injected=diff.skew_injected)
+                verdict.corpus_path = save_entry(policy.corpus_dir, entry)
+            return verdict
+
+        # ---- layer 2: statistical acceptance ------------------------
+        trace = run_program(program, case.trace_instructions,
+                            warmup=case.warmup)
+        profile = profile_trace(trace, config, order=case.order)
+        synthetic = generate_synthetic_trace(profile,
+                                             case.reduction_factor,
+                                             seed=case.synthesis_seed)
+        report = acceptance_report(profile, synthetic, policy.tolerances)
+        margins = {check.name: check.margin for check in report.checks}
+        if report.passed:
+            registry.counter("fuzz.ok").inc()
+            return CaseVerdict(case_id=case.case_id, status=OK,
+                               margins=margins)
+
+        registry.counter("fuzz.acceptance").inc()
+        obs.warn(f"{case.case_id}: synthetic statistics out of "
+                 f"tolerance ({report.summary()})",
+                 event="fuzz.acceptance_failure", case=case.case_id)
+        verdict = CaseVerdict(case_id=case.case_id, status=ACCEPTANCE,
+                              detail=report.summary(), margins=margins)
+        if policy.minimize:
+            minimized = minimize_program(
+                program, case.trace_instructions,
+                lambda prog, n: _acceptance_fails(prog, n, case,
+                                                  policy.tolerances),
+                max_trials=max(1, policy.max_trials // 4))
+            registry.counter("fuzz.minimized").inc()
+            verdict.minimization = minimized.to_dict()
+            program = minimized.program
+        if policy.corpus_dir:
+            entry = CorpusEntry(
+                case_id=case.case_id, kind=ACCEPTANCE,
+                case=case.to_dict(), report=report.to_dict(),
+                program=program_to_dict(program),
+                minimization=verdict.minimization,
+                chaos_spec=(chaos.to_spec()
+                            if hasattr(chaos, "to_spec") else None))
+            verdict.corpus_path = save_entry(policy.corpus_dir, entry)
+        return verdict
+
+
+def run_fuzz(policy: FuzzPolicy, chaos=_ENV_CHAOS,
+             log=None) -> FuzzReport:
+    """Run *policy.cases* seeded cases; return the aggregate report.
+
+    *chaos* defaults to the plan in ``REPRO_CHAOS`` (pass ``None`` to
+    force chaos off).  The plan is shared with the runner, so
+    ``task-fail``/``slow-call`` hit the containment path while
+    ``pipeline-skew`` hits the oracle.
+    """
+    if chaos is _ENV_CHAOS:
+        chaos = plan_from_env(os.environ)
+    registry = get_registry()
+    log = log or (lambda message: None)
+
+    cases = [random_case(policy.seed, index)
+             for index in range(policy.cases)]
+    units = [WorkUnit(experiment="fuzz", benchmark=case.case_id,
+                      seed=policy.seed, params=(("index", case.index),))
+             for case in cases]
+    by_unit = {unit.unit_id: case for unit, case in zip(units, cases)}
+
+    runner = TaskRunner(
+        policy=RunnerPolicy(timeout=policy.timeout,
+                            max_retries=policy.retries),
+        fault_plan=chaos,
+        raise_on_total_failure=False,
+        log=log,
+    )
+
+    def run_one(unit: WorkUnit) -> Dict:
+        case = by_unit[unit.unit_id]
+        registry.counter("fuzz.cases").inc()
+        return evaluate_case(case, policy, chaos=chaos).to_dict()
+
+    run_report = runner.run(units, run_one)
+
+    verdicts: List[CaseVerdict] = []
+    for outcome in run_report.outcomes:
+        if outcome.status == "failed" or outcome.result is None:
+            registry.counter("fuzz.errors").inc()
+            error = (outcome.error or {}).get("message", "case crashed")
+            verdicts.append(CaseVerdict(
+                case_id=outcome.benchmark or outcome.unit_id,
+                status=ERROR, detail=str(error)))
+        else:
+            verdicts.append(CaseVerdict.from_dict(outcome.result))
+
+    report = FuzzReport(seed=policy.seed, verdicts=verdicts)
+    obs.info(f"fuzz run complete: {report.summary()}",
+             event="fuzz.summary", seed=policy.seed,
+             cases=len(report.verdicts), ok=report.count(OK))
+    return report
+
+
+# ---------------------------------------------------------------- replay
+
+@dataclass
+class ReplayResult:
+    """The outcome of replaying one corpus entry."""
+
+    path: str
+    case_id: str
+    kind: str
+    passed: bool
+    detail: str = ""
+
+    def to_dict(self) -> Dict:
+        return {"path": self.path, "case_id": self.case_id,
+                "kind": self.kind, "passed": self.passed,
+                "detail": self.detail}
+
+
+def replay_entry(path: str,
+                 tolerances: ToleranceConfig = ToleranceConfig()
+                 ) -> ReplayResult:
+    """Replay one corpus entry; green means the pinned bug stays fixed."""
+    from repro.core.profiler import profile_trace
+    from repro.core.synthesis import generate_synthetic_trace
+    from repro.frontend.functional import run_program
+
+    entry = load_entry(path)
+    case = case_from_dict(entry.case)
+    config = case.machine_config()
+    program = program_from_dict(entry.program)
+    n_instructions = entry.minimization.get("n_instructions",
+                                            case.trace_instructions)
+
+    if entry.kind == DIFFERENTIAL:
+        diff = diff_program(program, config, n_instructions,
+                            warmup=case.warmup)
+        return ReplayResult(path=path, case_id=entry.case_id,
+                            kind=entry.kind, passed=diff.identical,
+                            detail=("" if diff.identical
+                                    else diff.summary()))
+    if entry.kind == ACCEPTANCE:
+        trace = run_program(program, n_instructions, warmup=case.warmup)
+        profile = profile_trace(trace, config, order=case.order)
+        synthetic = generate_synthetic_trace(
+            profile, case.reduction_factor, seed=case.synthesis_seed)
+        report = acceptance_report(profile, synthetic, tolerances)
+        return ReplayResult(path=path, case_id=entry.case_id,
+                            kind=entry.kind, passed=report.passed,
+                            detail=("" if report.passed
+                                    else report.summary()))
+    return ReplayResult(path=path, case_id=entry.case_id,
+                        kind=entry.kind, passed=False,
+                        detail=f"unknown entry kind {entry.kind!r}")
+
+
+def replay_corpus(corpus_dir: str,
+                  tolerances: ToleranceConfig = ToleranceConfig(),
+                  raise_on_failure: bool = False) -> List[ReplayResult]:
+    """Replay every entry under *corpus_dir* (sorted, deterministic)."""
+    registry = get_registry()
+    results = []
+    for path in list_entries(corpus_dir):
+        result = replay_entry(path, tolerances)
+        registry.counter("fuzz.replayed").inc()
+        if not result.passed:
+            registry.counter("fuzz.replay_failures").inc()
+            obs.error(f"corpus replay failed: {result.case_id} "
+                      f"({result.detail})", event="fuzz.replay_failure",
+                      case=result.case_id, path=path)
+            if raise_on_failure:
+                raise FuzzDiscrepancyError(
+                    f"corpus entry {result.case_id} regressed: "
+                    f"{result.detail}")
+        results.append(result)
+    return results

@@ -1,0 +1,264 @@
+"""Failure minimization: shrink a failing fuzz program to a reproducer.
+
+Given a program and a predicate ``failing(program, n_instructions)``
+(true when the differential oracle still reports a discrepancy, or the
+acceptance harness still rejects), the minimizer applies shrinking
+passes to a fixpoint:
+
+1. halve the simulated trace length;
+2. drop basic blocks, ddmin-style (complement halving with increasing
+   granularity), remapping branch targets onto the survivors;
+3. truncate block bodies down to just the terminating branch;
+4. simplify remaining body instructions to bare ``INT_ALU`` ops with no
+   operands;
+5. collapse all branch behaviours to a two-iteration loop.
+
+Every trial re-runs the predicate on a candidate; a trial that raises
+is treated as "not failing" (an invalid shrink, not a reproducer).  The
+result is the smallest program found that still fails, measured in
+static instructions — corpus entries store it alongside the original
+case so regressions replay in milliseconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.isa.iclass import IClass
+from repro.isa.instruction import StaticInstruction
+from repro.isa.program import BasicBlock, Program
+from repro.workloads.behaviors import LoopBehavior
+
+#: Trace lengths below this stop the halving pass; shorter runs lose
+#: the steady-state behaviour most discrepancies need.
+_MIN_TRACE = 200
+
+FailingPredicate = Callable[[Program, int], bool]
+
+
+@dataclass(frozen=True)
+class MinimizationResult:
+    """A minimized reproducer plus shrink statistics."""
+
+    program: Program
+    original_size: int
+    minimized_size: int
+    trials: int
+    n_instructions: int
+
+    @property
+    def reduction(self) -> float:
+        """Minimized size as a fraction of the original (lower=better)."""
+        return self.minimized_size / max(1, self.original_size)
+
+    def to_dict(self) -> Dict:
+        return {
+            "original_size": self.original_size,
+            "minimized_size": self.minimized_size,
+            "reduction": self.reduction,
+            "trials": self.trials,
+            "n_instructions": self.n_instructions,
+        }
+
+
+def _remap_target(target: int, survivors: Sequence[int],
+                  new_id: Dict[int, int], entry: int) -> int:
+    """Map an old block id onto the surviving set.
+
+    A dropped target is redirected to the nearest surviving block at or
+    after it (cyclically), falling back to the entry block — control
+    flow stays closed over the shrunken CFG.
+    """
+    if target in new_id:
+        return new_id[target]
+    for old in survivors:
+        if old >= target:
+            return new_id[old]
+    return new_id.get(entry, 0)
+
+
+def _without_blocks(program: Program, dropped: Sequence[int]
+                    ) -> Optional[Program]:
+    """A copy of *program* with *dropped* block ids removed."""
+    drop = set(dropped)
+    drop.discard(program.entry)  # the entry block always survives
+    survivors = [block.bb_id for block in program.blocks
+                 if block.bb_id not in drop]
+    if not survivors or len(survivors) == len(program.blocks):
+        return None
+    new_id = {old: new for new, old in enumerate(survivors)}
+    blocks: List[BasicBlock] = []
+    for old in survivors:
+        block = program.blocks[old]
+        taken = block.taken_target
+        if taken >= 0:
+            taken = _remap_target(taken, survivors, new_id, program.entry)
+        fallthrough = block.fallthrough
+        if fallthrough >= 0:
+            fallthrough = _remap_target(fallthrough, survivors, new_id,
+                                        program.entry)
+        indirect = ()
+        if block.indirect_targets:
+            remapped = sorted({
+                _remap_target(target, survivors, new_id, program.entry)
+                for target in block.indirect_targets})
+            indirect = tuple(remapped)
+        blocks.append(BasicBlock(
+            bb_id=new_id[old],
+            address=block.address,
+            instructions=block.instructions,
+            taken_target=taken,
+            fallthrough=fallthrough,
+            indirect_targets=indirect,
+            branch_behavior=block.branch_behavior,
+        ))
+    return Program(
+        name=program.name,
+        blocks=blocks,
+        entry=new_id[program.entry],
+        branch_behaviors=list(program.branch_behaviors),
+        memory_streams=list(program.memory_streams),
+    )
+
+
+def _truncate_bodies(program: Program) -> Program:
+    """Keep only the terminating branch of every block."""
+    blocks = [BasicBlock(
+        bb_id=block.bb_id,
+        address=block.address,
+        instructions=block.instructions[-1:],
+        taken_target=block.taken_target,
+        fallthrough=block.fallthrough,
+        indirect_targets=block.indirect_targets,
+        branch_behavior=block.branch_behavior,
+    ) for block in program.blocks]
+    return Program(name=program.name, blocks=blocks, entry=program.entry,
+                   branch_behaviors=list(program.branch_behaviors),
+                   memory_streams=list(program.memory_streams))
+
+
+def _simplify_instructions(program: Program) -> Program:
+    """Replace every non-branch instruction with a bare INT_ALU op."""
+    filler = StaticInstruction(IClass.INT_ALU, src_regs=())
+    blocks = [BasicBlock(
+        bb_id=block.bb_id,
+        address=block.address,
+        instructions=[filler] * (len(block.instructions) - 1)
+        + [block.instructions[-1]],
+        taken_target=block.taken_target,
+        fallthrough=block.fallthrough,
+        indirect_targets=block.indirect_targets,
+        branch_behavior=block.branch_behavior,
+    ) for block in program.blocks]
+    return Program(name=program.name, blocks=blocks, entry=program.entry,
+                   branch_behaviors=list(program.branch_behaviors),
+                   memory_streams=list(program.memory_streams))
+
+
+def _simplify_behaviors(program: Program) -> Program:
+    """Collapse every branch behaviour to a two-iteration loop."""
+    behaviors = [LoopBehavior(2) for _ in program.branch_behaviors]
+    return Program(name=program.name, blocks=list(program.blocks),
+                   entry=program.entry, branch_behaviors=behaviors,
+                   memory_streams=list(program.memory_streams))
+
+
+class _Shrinker:
+    """Trial bookkeeping shared by the passes."""
+
+    def __init__(self, failing: FailingPredicate, max_trials: int) -> None:
+        self.failing = failing
+        self.max_trials = max_trials
+        self.trials = 0
+
+    @property
+    def exhausted(self) -> bool:
+        return self.trials >= self.max_trials
+
+    def still_fails(self, program: Optional[Program],
+                    n_instructions: int) -> bool:
+        if program is None or self.exhausted:
+            return False
+        self.trials += 1
+        try:
+            return bool(self.failing(program, n_instructions))
+        except Exception:
+            return False  # invalid shrink, not a reproducer
+
+
+def _ddmin_blocks(program: Program, n_instructions: int,
+                  shrinker: _Shrinker) -> Program:
+    """Delta-debugging over the droppable (non-entry) block set."""
+    while True:
+        droppable = [block.bb_id for block in program.blocks
+                     if block.bb_id != program.entry]
+        if not droppable or shrinker.exhausted:
+            return program
+        chunks = 2
+        shrunk = False
+        while chunks <= len(droppable):
+            size = (len(droppable) + chunks - 1) // chunks
+            for start in range(0, len(droppable), size):
+                dropped = droppable[start:start + size]
+                candidate = _without_blocks(program, dropped)
+                if shrinker.still_fails(candidate, n_instructions):
+                    program = candidate
+                    shrunk = True
+                    break
+            if shrunk:
+                break
+            chunks *= 2
+        if not shrunk:
+            return program
+
+
+def minimize_program(program: Program, n_instructions: int,
+                     failing: FailingPredicate,
+                     max_trials: int = 200) -> MinimizationResult:
+    """Shrink *program* while ``failing(program, n)`` stays true.
+
+    The input pair is assumed failing; the passes run to a fixpoint or
+    until *max_trials* predicate evaluations have been spent.
+    """
+    original_size = program.static_instruction_count
+    shrinker = _Shrinker(failing, max_trials)
+
+    # Pass 1: halve the trace length while the failure persists.
+    while (n_instructions // 2 >= _MIN_TRACE
+           and shrinker.still_fails(program, n_instructions // 2)):
+        n_instructions //= 2
+
+    changed = True
+    while changed and not shrinker.exhausted:
+        changed = False
+
+        smaller = _ddmin_blocks(program, n_instructions, shrinker)
+        if smaller is not program:
+            program = smaller
+            changed = True
+
+        truncated = _truncate_bodies(program)
+        if (truncated.static_instruction_count
+                < program.static_instruction_count
+                and shrinker.still_fails(truncated, n_instructions)):
+            program = truncated
+            changed = True
+
+        simplified = _simplify_instructions(program)
+        if (simplified.blocks != program.blocks
+                and shrinker.still_fails(simplified, n_instructions)):
+            program = simplified
+            changed = True
+
+    tame = _simplify_behaviors(program)
+    if shrinker.still_fails(tame, n_instructions):
+        program = tame
+
+    return MinimizationResult(
+        program=program,
+        original_size=original_size,
+        minimized_size=program.static_instruction_count,
+        trials=shrinker.trials,
+        n_instructions=n_instructions,
+    )

@@ -14,6 +14,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
+from repro.errors import WorkloadSpecError
 from repro.isa.iclass import IClass
 from repro.isa.instruction import StaticInstruction
 from repro.isa.program import INSTRUCTION_BYTES, BasicBlock, Program
@@ -104,34 +105,97 @@ class WorkloadConfig:
     dependency_locality: float = 0.35
 
     def __post_init__(self) -> None:
-        if self.n_blocks < 2:
-            raise ValueError("need at least two basic blocks")
+        if self.n_blocks < 1:
+            raise WorkloadSpecError(
+                f"n_blocks must be >= 1, got {self.n_blocks}; a program "
+                f"needs at least one basic block")
         if self.mean_block_size < 1:
-            raise ValueError("mean_block_size must be >= 1")
+            raise WorkloadSpecError(
+                f"mean_block_size must be >= 1, got "
+                f"{self.mean_block_size}")
+        if self.n_registers < 1:
+            raise WorkloadSpecError(
+                f"n_registers must be >= 1, got {self.n_registers}; "
+                f"instructions need registers to read and write")
         if not 0 <= self.loop_fraction + self.pattern_fraction <= 1:
-            raise ValueError("branch behaviour fractions must sum to <= 1")
+            raise WorkloadSpecError(
+                f"loop_fraction + pattern_fraction must lie in [0, 1], "
+                f"got {self.loop_fraction} + {self.pattern_fraction} = "
+                f"{self.loop_fraction + self.pattern_fraction}")
         if not 0 <= self.indirect_fraction <= 0.5:
-            raise ValueError("indirect_fraction must be in [0, 0.5]")
+            raise WorkloadSpecError(
+                f"indirect_fraction must be in [0, 0.5], got "
+                f"{self.indirect_fraction}")
+        for iclass, weight in self.instruction_mix.items():
+            if weight < 0:
+                raise WorkloadSpecError(
+                    f"instruction mix weight for {iclass.name} is "
+                    f"negative ({weight}); weights are relative "
+                    f"frequencies")
         total = sum(self.instruction_mix.values())
         if total <= 0:
-            raise ValueError("instruction mix must have positive mass")
+            raise WorkloadSpecError(
+                "instruction mix must have positive mass; every class "
+                "weight is zero or the mix is empty")
         for iclass in self.instruction_mix:
             if iclass in (IClass.INT_COND_BRANCH, IClass.FP_COND_BRANCH,
                           IClass.INDIRECT_BRANCH):
-                raise ValueError("branch classes are implicit; exclude them "
-                                 "from instruction_mix")
+                raise WorkloadSpecError(
+                    "branch classes are implicit; exclude them from "
+                    "instruction_mix")
+        # Memory instructions need streams to draw addresses from; a
+        # mix without loads/stores legitimately needs neither streams
+        # nor stream kinds (zero-probability behaviour classes are a
+        # valid way to disable a dimension, not an error).
+        uses_memory = any(
+            weight > 0 for iclass, weight in self.instruction_mix.items()
+            if iclass in (IClass.LOAD, IClass.STORE))
+        if uses_memory and self.n_memory_streams < 1:
+            raise WorkloadSpecError(
+                f"the instruction mix contains loads/stores but "
+                f"n_memory_streams is {self.n_memory_streams}; memory "
+                f"instructions need at least one stream (or remove "
+                f"LOAD/STORE mass from the mix)")
+        if self.n_memory_streams < 0:
+            raise WorkloadSpecError(
+                f"n_memory_streams must be >= 0, got "
+                f"{self.n_memory_streams}")
+        for kind, weight in self.stream_kinds.items():
+            if weight < 0:
+                raise WorkloadSpecError(
+                    f"stream kind {kind!r} has negative weight "
+                    f"({weight})")
+        if self.n_memory_streams > 0 \
+                and sum(self.stream_kinds.values()) <= 0:
+            raise WorkloadSpecError(
+                "stream_kinds must have positive mass when "
+                "n_memory_streams > 0 (or set n_memory_streams=0 and "
+                "drop LOAD/STORE from the mix)")
 
 
 def _sample_mix(rng: random.Random, mix: Dict[IClass, float]) -> IClass:
-    """Sample an instruction class from a (possibly unnormalized) mix."""
+    """Sample an instruction class from a (possibly unnormalized) mix.
+
+    Zero-weight entries are never returned — not even through the
+    floating-point fallback below, which otherwise could hand back a
+    zero-probability class when ``x`` lands within rounding error of
+    the total.
+    """
     total = sum(mix.values())
+    if total <= 0:
+        raise WorkloadSpecError(
+            "cannot sample from a mix with no positive mass")
     x = rng.random() * total
     acc = 0.0
+    last_positive = None
     for iclass, weight in mix.items():
+        if weight <= 0:
+            continue
+        last_positive = iclass
         acc += weight
         if x < acc:
             return iclass
-    return next(reversed(mix))
+    return last_positive
 
 
 def _pick_sources(rng: random.Random, count: int, recent: List[int],
@@ -260,7 +324,12 @@ def generate_program(config: WorkloadConfig) -> Program:
                 taken_target = rng.randint(max(0, i - 3), i)
             else:
                 # Forward jump within a window, wrapping at the end.
-                taken_target = (i + rng.randint(2, min(12, n - 1))) % n
+                # Tiny CFGs leave no room for the usual [2, 12] window:
+                # with two blocks the only forward jump is the other
+                # block, and a single block can only target itself.
+                span = min(12, n - 1)
+                jump = rng.randint(2, span) if span >= 2 else span
+                taken_target = (i + jump) % n
             p_taken = config.random_branch_bias
             if kinds[i] == "random":
                 p_taken = min(0.95, max(0.05,

@@ -1,0 +1,83 @@
+"""The ``repro fuzz`` subcommand: determinism, chaos canary, replay."""
+
+import json
+from pathlib import Path
+
+from repro.cli import main
+from repro.fuzz.corpus import list_entries, load_entry
+
+
+class TestFuzzCommand:
+    def test_green_run_exits_zero(self, capsys):
+        assert main(["fuzz", "--cases", "4", "--seed", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "4 ok" in out
+
+    def test_identical_invocations_identical_stats(self, tmp_path,
+                                                   capsys):
+        first = tmp_path / "a.json"
+        second = tmp_path / "b.json"
+        assert main(["fuzz", "--cases", "5", "--seed", "7",
+                     "--stats-only", str(first)]) == 0
+        assert main(["fuzz", "--cases", "5", "--seed", "7",
+                     "--stats-only", str(second)]) == 0
+        assert first.read_text() == second.read_text()
+        payload = json.loads(first.read_text())
+        assert payload["schema"] == 1
+        assert payload["cases"] == 5
+        assert payload["seed"] == 7
+        assert payload["verdicts"]["ok"] == 5
+        assert payload["acceptance_margins"]
+        for stats in payload["acceptance_margins"].values():
+            assert stats["min"] > 0
+
+    def test_bad_chaos_spec_exits_two(self, capsys):
+        assert main(["fuzz", "--cases", "1",
+                     "--chaos", "no-such-site:rate=1"]) == 2
+
+    def test_replay_requires_corpus(self, capsys):
+        assert main(["fuzz", "--replay"]) == 2
+
+
+class TestSkewCanary:
+    """End-to-end acceptance: an injected discrepancy is caught,
+    minimized to <= 25% of the original program, corpus-filed, and the
+    entry replays green without chaos."""
+
+    def test_injected_skew_caught_minimized_and_replayable(
+            self, tmp_path, capsys):
+        corpus = tmp_path / "corpus"
+        status = main([
+            "fuzz", "--cases", "4", "--seed", "7",
+            "--corpus", str(corpus),
+            "--chaos", "seed=1;pipeline-skew:rate=1.0,match=case002",
+        ])
+        assert status == 1
+        out = capsys.readouterr().out
+        assert "differential" in out
+
+        paths = list_entries(str(corpus))
+        assert len(paths) == 1
+        entry = load_entry(paths[0])
+        assert entry.case_id == "case002"
+        assert entry.skew_injected
+        assert entry.kind == "differential"
+        minimization = entry.minimization
+        assert (minimization["minimized_size"]
+                <= minimization["original_size"] // 4), minimization
+
+        # Chaos off: the pinned "bug" is gone, replay is green.
+        assert main(["fuzz", "--replay", "--corpus", str(corpus)]) == 0
+        out = capsys.readouterr().out
+        assert "0 regressed" in out
+
+    def test_no_minimize_files_unshrunk(self, tmp_path, capsys):
+        corpus = tmp_path / "corpus"
+        status = main([
+            "fuzz", "--cases", "3", "--seed", "7",
+            "--corpus", str(corpus), "--no-minimize",
+            "--chaos", "seed=1;pipeline-skew:rate=1.0,match=case001",
+        ])
+        assert status == 1
+        entry = load_entry(list_entries(str(corpus))[0])
+        assert entry.minimization == {}

@@ -1,0 +1,83 @@
+"""Failure minimization: shrinking power, validity, trial budget."""
+
+from repro.frontend.functional import run_program
+from repro.fuzz.generator import random_case
+from repro.fuzz.minimize import minimize_program
+from repro.isa.iclass import IClass
+from repro.workloads.generator import WorkloadConfig, generate_program
+
+
+def _big_program():
+    return generate_program(WorkloadConfig(
+        name="shrinkme", seed=17, n_blocks=24, mean_block_size=6))
+
+
+class TestShrinkingPower:
+    def test_always_failing_predicate_shrinks_below_quarter(self):
+        program = _big_program()
+        result = minimize_program(program, 2000,
+                                  lambda prog, n: True)
+        assert result.original_size == program.static_instruction_count
+        assert result.minimized_size <= result.original_size // 4
+        assert result.reduction <= 0.25
+        # The reproducer is still a valid, runnable program.
+        result.program.validate_reachability()
+        run_program(result.program, 200)
+
+    def test_trace_length_halved(self):
+        result = minimize_program(_big_program(), 3200,
+                                  lambda prog, n: True)
+        assert result.n_instructions < 3200
+        assert result.n_instructions >= 200
+
+    def test_content_predicate_preserved(self):
+        # The failure needs at least one load: minimization must keep
+        # one while shrinking everything else.
+        def needs_load(program, n):
+            return any(inst.iclass is IClass.LOAD
+                       for block in program.blocks
+                       for inst in block.instructions)
+
+        program = _big_program()
+        assert needs_load(program, 0)
+        result = minimize_program(program, 2000, needs_load)
+        assert needs_load(result.program, 0)
+        assert result.minimized_size < result.original_size
+
+
+class TestRobustness:
+    def test_never_failing_predicate_returns_original(self):
+        program = _big_program()
+        result = minimize_program(program, 2000,
+                                  lambda prog, n: False)
+        assert result.program is program
+        assert result.minimized_size == result.original_size
+
+    def test_raising_predicate_counts_as_not_failing(self):
+        calls = []
+
+        def flaky(program, n):
+            calls.append(1)
+            raise RuntimeError("trial blew up")
+
+        program = _big_program()
+        result = minimize_program(program, 2000, flaky)
+        assert result.program is program
+        assert calls  # trials ran, exceptions were contained
+
+    def test_trial_budget_respected(self):
+        counter = []
+
+        def count(program, n):
+            counter.append(1)
+            return True
+
+        minimize_program(_big_program(), 2000, count, max_trials=10)
+        assert len(counter) <= 10
+
+    def test_result_serializes(self):
+        result = minimize_program(_big_program(), 2000,
+                                  lambda prog, n: True)
+        data = result.to_dict()
+        assert data["minimized_size"] == result.minimized_size
+        assert 0 < data["reduction"] <= 1

@@ -18,7 +18,11 @@ class TestWorkloadConfigValidation:
 
     def test_too_few_blocks(self):
         with pytest.raises(ValueError):
-            WorkloadConfig(name="x", seed=1, n_blocks=1)
+            WorkloadConfig(name="x", seed=1, n_blocks=0)
+
+    def test_single_block_allowed(self):
+        config = WorkloadConfig(name="x", seed=1, n_blocks=1)
+        assert generate_program(config).num_blocks == 1
 
     def test_branch_fractions(self):
         with pytest.raises(ValueError):

@@ -1,0 +1,136 @@
+"""Property-style tests for the draw-stable samplers.
+
+The guide-table and Fenwick samplers carry a bit-compatibility
+contract: for any uniform draw ``u`` they must select exactly the
+index ``bisect_right(cumulative, u * total)`` would — the determinism
+goldens depend on it.  These tests hammer that contract over
+randomized weight vectors, including the degenerate shapes the unit
+tests don't reach: one-hot vectors, zero runs, and near-zero weights
+drowned by huge neighbours.
+"""
+
+import random
+from bisect import bisect_right
+from itertools import accumulate
+
+import pytest
+
+from repro.core.sampling import FenwickSampler, GuideTableSampler
+
+
+def _bisect_reference(weights, u):
+    cumulative = list(accumulate(weights))
+    total = cumulative[-1]
+    return bisect_right(cumulative, u * total)
+
+
+def _random_weights(rng, n):
+    shape = rng.random()
+    if shape < 0.15:
+        # One-hot: all mass on a single entry.
+        weights = [0] * n
+        weights[rng.randrange(n)] = rng.randint(1, 10 ** 6)
+        return weights
+    if shape < 0.30:
+        # Near-zero entries drowned by huge neighbours: the CDF steps
+        # by 1 part in ~1e9, stressing the float bucket arithmetic.
+        return [rng.choice((1, 10 ** 9)) for _ in range(n)]
+    # Generic: heavy-tailed magnitudes with zero runs mixed in.
+    return [0 if rng.random() < 0.3
+            else rng.randint(1, 10 ** rng.randint(0, 8))
+            for _ in range(n)]
+
+
+def _probe_draws(rng, weights, count=40):
+    """Uniform draws plus adversarial ones at the CDF step edges."""
+    cumulative = list(accumulate(weights))
+    total = cumulative[-1]
+    draws = [rng.random() for _ in range(count)]
+    for value in cumulative:
+        # Exactly on a boundary and a hair to each side.
+        for u in (value / total, (value - 0.5) / total,
+                  (value + 0.5) / total):
+            if 0.0 <= u < 1.0:
+                draws.append(u)
+    draws.append(0.0)
+    return draws
+
+
+class TestGuideTableBitCompat:
+    def test_randomized_vectors_match_bisect(self):
+        rng = random.Random(1234)
+        for trial in range(200):
+            n = rng.randint(1, 60)
+            weights = _random_weights(rng, n)
+            if sum(weights) == 0:
+                weights[rng.randrange(n)] = 1
+            sampler = GuideTableSampler(weights)
+            for u in _probe_draws(rng, weights):
+                assert sampler.sample(u) == _bisect_reference(weights, u), \
+                    f"trial {trial}: weights={weights} u={u!r}"
+
+    def test_one_hot_always_selects_the_hot_entry(self):
+        rng = random.Random(99)
+        for n in (1, 2, 3, 7, 33):
+            for hot in range(n):
+                weights = [0] * n
+                weights[hot] = 5
+                sampler = GuideTableSampler(weights)
+                for _ in range(20):
+                    assert sampler.sample(rng.random()) == hot
+
+    def test_near_zero_weight_still_reachable(self):
+        # A weight-1 entry between two 1e9 entries: the draw that lands
+        # exactly in its sliver must select it, same as bisect.
+        weights = [10 ** 9, 1, 10 ** 9]
+        sampler = GuideTableSampler(weights)
+        total = sum(weights)
+        u = (10 ** 9 + 0.5) / total
+        assert sampler.sample(u) == _bisect_reference(weights, u) == 1
+
+
+class TestFenwickBitCompat:
+    def test_randomized_vectors_match_bisect(self):
+        rng = random.Random(4321)
+        for trial in range(200):
+            n = rng.randint(1, 60)
+            weights = _random_weights(rng, n)
+            if sum(weights) == 0:
+                weights[rng.randrange(n)] = 1
+            sampler = FenwickSampler(weights)
+            for u in _probe_draws(rng, weights):
+                assert sampler.sample(u) == _bisect_reference(weights, u), \
+                    f"trial {trial}: weights={weights} u={u!r}"
+
+    def test_drain_stays_bisect_compatible(self):
+        # The synthesis use case: weights drain one at a time; after
+        # every update the sampler must still agree with a bisect over
+        # the *current* weights.
+        rng = random.Random(7)
+        weights = [rng.randint(0, 5) for _ in range(24)]
+        weights[3] = 4  # ensure some mass
+        sampler = FenwickSampler(weights)
+        while sum(weights) > 0:
+            u = rng.random()
+            picked = sampler.sample(u)
+            assert picked == _bisect_reference(weights, u)
+            assert weights[picked] > 0  # zero entries are transparent
+            sampler.add(picked, -1)
+            weights[picked] -= 1
+            assert sampler.weight(picked) == weights[picked]
+        assert sampler.total == 0
+
+    def test_one_hot_and_growth(self):
+        sampler = FenwickSampler([0, 0, 9, 0])
+        for _ in range(10):
+            assert sampler.sample(random.Random(5).random()) == 2
+        sampler.add(0, 3)
+        weights = [3, 0, 9, 0]
+        rng = random.Random(11)
+        for _ in range(50):
+            u = rng.random()
+            assert sampler.sample(u) == _bisect_reference(weights, u)
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError, match="negative weight"):
+            FenwickSampler([1, -2, 3])
