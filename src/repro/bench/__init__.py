@@ -10,7 +10,10 @@ regressions.
 
 from repro.bench.hotpath import (
     BENCH_SCHEMA,
+    TRAJECTORY_SCHEMA,
+    append_trajectory,
     check_regression,
+    git_sha,
     run_hotpath_bench,
     validate_payload,
     write_bench,
@@ -18,7 +21,10 @@ from repro.bench.hotpath import (
 
 __all__ = [
     "BENCH_SCHEMA",
+    "TRAJECTORY_SCHEMA",
+    "append_trajectory",
     "check_regression",
+    "git_sha",
     "run_hotpath_bench",
     "validate_payload",
     "write_bench",

@@ -310,3 +310,50 @@ def write_bench(payload: Dict[str, Any],
                 path: Union[str, Path]) -> None:
     Path(path).write_text(json.dumps(payload, indent=2,
                                      sort_keys=True) + "\n")
+
+
+#: Bump when TRAJECTORY.jsonl entries change incompatibly.
+TRAJECTORY_SCHEMA = 1
+
+#: Where ``repro bench`` appends its per-run history by default.
+DEFAULT_TRAJECTORY = Path("benchmarks/perf/TRAJECTORY.jsonl")
+
+
+def git_sha() -> Optional[str]:
+    """The working tree's short commit sha, or None outside git."""
+    import subprocess
+
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "--short=12", "HEAD"],
+            capture_output=True, text=True, timeout=10)
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    sha = proc.stdout.strip()
+    return sha if proc.returncode == 0 and sha else None
+
+
+def append_trajectory(payload: Dict[str, Any],
+                      path: Union[str, Path] = DEFAULT_TRAJECTORY
+                      ) -> Path:
+    """Append one bench run to the perf trajectory (JSONL).
+
+    ``BENCH_hotpath.json`` is last-run-wins; the trajectory keeps every
+    run — sha, timestamp, speedups — so the CI perf gate can report a
+    trend instead of only last-vs-baseline.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    entry = {
+        "schema": TRAJECTORY_SCHEMA,
+        "ts": time.time(),
+        "git_sha": git_sha(),
+        "benchmark": payload.get("benchmark"),
+        "quick": payload.get("quick"),
+        "draw_stable": payload.get("draw_stable"),
+        "results_identical": payload.get("results_identical"),
+        "speedups": payload.get("speedups", {}),
+    }
+    with path.open("a", encoding="utf-8") as handle:
+        handle.write(json.dumps(entry, sort_keys=True) + "\n")
+    return path

@@ -127,6 +127,13 @@ def _obs_parent() -> argparse.ArgumentParser:
         "--profile-dir", dest="obs_profile_dir",
         default=argparse.SUPPRESS, metavar="DIR",
         help="where --profile dumps land (default: profiles/)")
+    parent.add_argument(
+        "--trace-dir", dest="trace_dir", default=argparse.SUPPRESS,
+        metavar="DIR",
+        help="activate fleet telemetry: every process of this run "
+             "appends spans to DIR/trace-<pid>.jsonl and metrics to "
+             "DIR/metrics-<pid>.json, and keeps a crash flight "
+             "recorder; stitch with 'repro trace DIR'")
     return parent
 
 
@@ -307,6 +314,14 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--tolerance", type=_positive_float, default=0.15,
                        help="allowed fractional slack below the pinned "
                             "baseline speedups (default: 0.15)")
+    bench.add_argument("--trajectory", default=None,
+                       metavar="TRAJECTORY.jsonl",
+                       help="perf history file each run appends to "
+                            "(default: benchmarks/perf/"
+                            "TRAJECTORY.jsonl)")
+    bench.add_argument("--no-trajectory", action="store_true",
+                       help="skip the trajectory append (exploratory "
+                            "runs that should leave no history)")
 
     fuzz = sub.add_parser(
         "fuzz", parents=[obs_parent],
@@ -372,12 +387,29 @@ def _build_parser() -> argparse.ArgumentParser:
 
     trace = sub.add_parser(
         "trace", parents=[obs_parent],
-        help="record a workload's dynamic trace to a file")
-    trace.add_argument("benchmark")
-    trace.add_argument("-o", "--output", required=True)
+        help="record a workload's dynamic trace to a file, OR — given "
+             "a run directory — stitch its per-process telemetry "
+             "into one critical-path tree")
+    trace.add_argument("benchmark",
+                       help="workload name to record, or a directory "
+                            "of trace-<pid>.jsonl files to stitch")
+    trace.add_argument("-o", "--output", default=None,
+                       help="output trace file (required when "
+                            "recording a workload)")
     trace.add_argument("--instructions", type=_positive_int,
                        default=60_000)
     trace.add_argument("--warmup", type=_non_negative_int, default=0)
+    trace.add_argument("--trace-id", default=None,
+                       help="stitch this trace id (default: the one "
+                            "with the most spans)")
+    trace.add_argument("--export", default=None, metavar="PERFETTO.json",
+                       help="also write the stitched trace as "
+                            "Chrome/Perfetto trace-event JSON")
+    trace.add_argument("--openmetrics", default=None,
+                       metavar="METRICS.txt",
+                       help="also aggregate the run dir's "
+                            "metrics-<pid>.json files and write them "
+                            "as OpenMetrics text")
 
     report = sub.add_parser(
         "report", parents=[obs_parent],
@@ -486,6 +518,16 @@ def _build_parser() -> argparse.ArgumentParser:
         help="cancel a queued job (running jobs finish their "
              "current attempt, then land in 'cancelled')")
     cancel.add_argument("job", metavar="ID")
+
+    top = sub.add_parser(
+        "top", parents=[obs_parent, service_parent],
+        help="live fleet view: queue depth, in-flight jobs, cache "
+             "hit rate, points/sec and per-phase latency percentiles")
+    top.add_argument("--interval", type=_positive_float, default=2.0,
+                     metavar="SECONDS",
+                     help="refresh interval (default: 2)")
+    top.add_argument("--once", action="store_true",
+                     help="print a single frame and exit (scripting)")
     return parser
 
 
@@ -770,8 +812,9 @@ def _cmd_dse(args: argparse.Namespace) -> int:
 def _cmd_bench(args: argparse.Namespace) -> int:
     import json
 
-    from repro.bench import (check_regression, run_hotpath_bench,
-                             validate_payload, write_bench)
+    from repro.bench import (append_trajectory, check_regression,
+                             run_hotpath_bench, validate_payload,
+                             write_bench)
     from repro.workloads.spec import benchmark_names
 
     if args.benchmark not in benchmark_names():
@@ -782,6 +825,11 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     payload = run_hotpath_bench(benchmark=args.benchmark,
                                 quick=not args.full, log=obs.info)
     write_bench(payload, args.output)
+    if not args.no_trajectory:
+        kwargs = ({"path": Path(args.trajectory)}
+                  if args.trajectory else {})
+        trajectory_path = append_trajectory(payload, **kwargs)
+        print(f"trajectory appended to {trajectory_path}")
     speedups = payload["speedups"]
     print(f"{args.benchmark}: profile {speedups['profile']:.2f}x, "
           f"synthesis {speedups['synthesis']:.2f}x (R=1000) / "
@@ -919,10 +967,19 @@ def _cmd_validate(args: argparse.Namespace) -> int:
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
+    # Dual personality: a directory argument means "stitch this run's
+    # telemetry"; anything else is the original workload recorder.
+    if Path(args.benchmark).is_dir():
+        return _cmd_trace_stitch(args)
+
     from repro.frontend.functional import run_program
     from repro.frontend.tracefile import save_trace
     from repro.workloads.spec import build_benchmark
 
+    if not args.output:
+        obs.error("recording a workload trace needs -o/--output",
+                  event="cli_error")
+        return 2
     trace = run_program(build_benchmark(args.benchmark),
                         n_instructions=args.instructions,
                         warmup=args.warmup)
@@ -930,6 +987,43 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     print(f"recorded {len(trace):,} instructions of {args.benchmark} "
           f"-> {args.output}")
     return 0
+
+
+def _cmd_trace_stitch(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs.exposition import (aggregate_run_dir,
+                                      render_openmetrics)
+    from repro.obs.traceview import (build_tree, load_spans,
+                                     to_chrome_trace)
+
+    run_dir = Path(args.benchmark)
+    spans = load_spans(run_dir)
+    if not spans:
+        obs.error(f"no trace-<pid>.jsonl files under {run_dir} "
+                  f"(run with --trace-dir to record telemetry)",
+                  event="cli_error")
+        return 2
+    tree = build_tree(spans, trace_id=args.trace_id)
+    print(tree.render())
+    if args.export:
+        export_path = Path(args.export)
+        export_path.parent.mkdir(parents=True, exist_ok=True)
+        export_path.write_text(
+            json.dumps(to_chrome_trace(tree), sort_keys=True),
+            encoding="utf-8")
+        print(f"perfetto trace written to {export_path} "
+              f"(open at https://ui.perfetto.dev)")
+    if args.openmetrics:
+        snapshot = aggregate_run_dir(run_dir)
+        metrics_path = Path(args.openmetrics)
+        metrics_path.parent.mkdir(parents=True, exist_ok=True)
+        metrics_path.write_text(render_openmetrics(snapshot),
+                                encoding="utf-8")
+        print(f"openmetrics written to {metrics_path} "
+              f"({snapshot.get('processes', 1)} process(es) "
+              f"aggregated)")
+    return 0 if tree.single_rooted() and tree.acyclic() else 1
 
 
 #: Experiments whose ``run`` takes a benchmark name first.
@@ -1119,6 +1213,19 @@ def _cmd_cancel(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_top(args: argparse.Namespace) -> int:
+    from repro.service import ServiceClient, run_top
+
+    socket_path = _service_socket(args)
+    if socket_path is None:
+        return 2
+    try:
+        return run_top(ServiceClient(socket_path),
+                       interval=args.interval, once=args.once)
+    except KeyboardInterrupt:
+        return 0
+
+
 #: Commands whose work units are profiled individually by the runner;
 #: the CLI-level profile wrapper skips them so one thread never hosts
 #: two active profilers.
@@ -1160,6 +1267,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_tail(args)
     if args.command == "cancel":
         return _cmd_cancel(args)
+    if args.command == "top":
+        return _cmd_top(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 
@@ -1176,6 +1285,11 @@ def _metrics_path(args: argparse.Namespace) -> Optional[Path]:
     return None
 
 
+def _traced(fn, trace_span, command: str) -> int:
+    with trace_span("cli", command=command):
+        return fn()
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     quiet = getattr(args, "quiet", False)
@@ -1189,6 +1303,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         profile=getattr(args, "obs_profile", None),
         profile_dir=getattr(args, "obs_profile_dir", None),
     )
+    from repro.obs import flightrec, telemetry
+    from repro.obs.tracing import trace_span
+
+    telemetry.reset()
+    trace_dir = getattr(args, "trace_dir", None)
+    if trace_dir:
+        telemetry.start(trace_dir=Path(trace_dir))
+        flightrec.install(Path(trace_dir))
     obs.emit("run_start", level="debug", command=args.command,
              argv=list(argv) if argv is not None else sys.argv[1:])
     status = 1
@@ -1196,6 +1318,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         fn = lambda: _dispatch(args)  # noqa: E731
         if args.command not in _UNIT_PROFILED_COMMANDS:
             fn = obs.maybe_profiled(fn, f"cli.{args.command}")
+        if trace_dir:
+            # The root span every other process's spans stitch under.
+            inner = fn
+            fn = lambda: _traced(inner, trace_span,  # noqa: E731
+                                 args.command)
         status = fn()
         return status
     except ReproError as exc:
@@ -1215,6 +1342,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         metrics_path = _metrics_path(args)
         if metrics_path is not None:
             obs.get_registry().write(metrics_path)
+        if trace_dir:
+            telemetry.flush_metrics(force=True)
+            flightrec.uninstall()
+            telemetry.reset()
 
 
 if __name__ == "__main__":  # pragma: no cover

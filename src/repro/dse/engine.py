@@ -33,6 +33,7 @@ import time
 import traceback
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.config import MachineConfig
@@ -104,11 +105,24 @@ _WORKER_LEASE_DIR: Optional[str] = None
 
 def _worker_init(profile_payload: Dict,
                  chaos_spec: Optional[str] = None,
-                 lease_dir: Optional[str] = None) -> None:
+                 lease_dir: Optional[str] = None,
+                 telemetry_payload: Optional[Dict] = None,
+                 flight_dir: Optional[str] = None) -> None:
     global _WORKER_PROFILE, _WORKER_FAULT_PLAN, _WORKER_LEASE_DIR
     from repro.core.serialization import profile_from_dict
     from repro.core.synthesis import prepare_recipes
+    from repro.obs import flightrec, telemetry
 
+    # Adopt the parent's trace context first, so every event this
+    # worker ever emits (including recipe warm-up below) carries the
+    # sweep's trace id; install the flight recorder next, so a chaos
+    # kill or unhandled crash leaves the worker's final moments behind.
+    telemetry.adopt(telemetry_payload)
+    if flight_dir:
+        # signals stays on: a SIGTERM'd worker dumps its buffer, then
+        # re-delivers the signal so its exit status still reads
+        # "killed by SIGTERM" and crash attribution stays innocent.
+        flightrec.install(flight_dir)
     _WORKER_PROFILE = profile_from_dict(profile_payload)
     # An explicit plan from the parent (e.g. the CLI's --chaos) is
     # shipped as its spec string; otherwise the worker consults the
@@ -187,16 +201,21 @@ def _evaluate_one(task: Dict[str, Any],
     serial in-process evaluation has no worker to kill, which is what
     makes the supervisor's serial fallback terminate under injection.
     """
+    from repro.obs.tracing import trace_span
+
     task_id = task["task_id"]
     if _WORKER_LEASE_DIR:
         write_lease(_WORKER_LEASE_DIR, task_id,
                     task.get("dispatch", 1))
     try:
-        plan = _WORKER_FAULT_PLAN
-        kill = getattr(plan, "maybe_kill_worker", None)
-        if kill is not None:
-            kill(task_id, task.get("dispatch", 1))
-        return _run_task(task, _WORKER_PROFILE, policy, plan)
+        with trace_span("evaluate", task=task_id,
+                        bench=task.get("benchmark"),
+                        seed=task.get("base_seed")):
+            plan = _WORKER_FAULT_PLAN
+            kill = getattr(plan, "maybe_kill_worker", None)
+            if kill is not None:
+                kill(task_id, task.get("dispatch", 1))
+            return _run_task(task, _WORKER_PROFILE, policy, plan)
     finally:
         if _WORKER_LEASE_DIR:
             clear_lease(_WORKER_LEASE_DIR, task_id)
@@ -413,9 +432,25 @@ class SweepEngine:
             })
         return outcomes
 
+    def _flight_dir(self) -> Optional[str]:
+        """Where worker flight-recorder dumps land: the telemetry trace
+        directory when one is active, else next to the quarantine
+        manifest (so chaos runs without --trace-dir still capture the
+        victim's final moments)."""
+        from repro.obs import telemetry
+
+        trace_dir = telemetry.trace_directory()
+        if trace_dir is not None:
+            return str(trace_dir)
+        path = getattr(self.quarantine, "path", None)
+        if path:
+            return str(Path(path).resolve().parent)
+        return None
+
     def _run_parallel(self, tasks: List[Dict[str, Any]]
                       ) -> List[Dict[str, Any]]:
         from repro.core.serialization import profile_to_dict
+        from repro.obs import telemetry
 
         self.log(f"dispatching {len(tasks)} evaluations to "
                  f"{self.jobs} supervised workers")
@@ -426,6 +461,11 @@ class SweepEngine:
         chaos_spec = (self.fault_plan.to_spec()
                       if isinstance(self.fault_plan, ChaosPlan)
                       else None)
+        # Trace context + flight-recorder target ride the same
+        # initializer, so worker spans stitch into this sweep's trace
+        # and crashed workers leave flightrec-<pid>.jsonl behind.
+        telemetry_payload = telemetry.propagation_payload()
+        flight_dir = self._flight_dir()
         with tempfile.TemporaryDirectory(
                 prefix="repro-leases-") as lease_dir:
 
@@ -433,7 +473,8 @@ class SweepEngine:
                 return ProcessPoolExecutor(
                     max_workers=self.jobs,
                     initializer=_worker_init,
-                    initargs=(payload, chaos_spec, lease_dir))
+                    initargs=(payload, chaos_spec, lease_dir,
+                              telemetry_payload, flight_dir))
 
             supervisor = PoolSupervisor(
                 pool_factory=pool_factory,
@@ -443,6 +484,7 @@ class SweepEngine:
                 quarantine=self.quarantine,
                 serial_fn=self._run_serial,
                 lease_dir=lease_dir,
+                flight_dir=flight_dir,
                 log=self.log)
             return supervisor.run(tasks)
 
@@ -457,6 +499,17 @@ class SweepEngine:
         misses are dispatched.  Fresh results (but never failures) are
         written back to the cache.
         """
+        from repro.obs.tracing import trace_span
+
+        # The sweep span is the parent every worker's evaluate span
+        # hangs off (its id travels in the pool-init trace context).
+        with trace_span("sweep", experiment=self.experiment,
+                        bench=self.benchmark):
+            return self._evaluate(points, seeds, reduction_factor)
+
+    def _evaluate(self, points: Sequence[DesignPoint],
+                  seeds: Sequence[int] = (0,),
+                  reduction_factor: float = 6.0) -> SweepResult:
         started = time.perf_counter()
         registry = get_registry()
         stats_before = (self.cache.stats.to_payload()
@@ -567,13 +620,16 @@ class SweepEngine:
         registry.counter("dse.recipe_reuse").inc(recipe_reuse)
         if stats_before is not None:
             stats_after = self.cache.stats.to_payload()
-            for key, metric in (("misses", "dse.cache_misses"),
-                                ("writes", "dse.cache_writes"),
-                                ("corrupt_discarded",
-                                 "dse.cache_corrupt_discarded"),
-                                ("io_errors", "dse.cache_io_errors")):
-                registry.counter(metric).inc(
-                    int(stats_after[key]) - int(stats_before[key]))
+
+            def _delta(key: str) -> int:
+                return int(stats_after[key]) - int(stats_before[key])
+
+            registry.counter("dse.cache_misses").inc(_delta("misses"))
+            registry.counter("dse.cache_writes").inc(_delta("writes"))
+            registry.counter("dse.cache_corrupt_discarded").inc(
+                _delta("corrupt_discarded"))
+            registry.counter("dse.cache_io_errors").inc(
+                _delta("io_errors"))
         # The supervised pool already wrote the manifest; this covers
         # serial runs (and is a harmless atomic rewrite otherwise) so
         # a requested --quarantine file always exists afterwards.

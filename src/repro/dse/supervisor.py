@@ -144,7 +144,8 @@ class Quarantine:
     records: List[Dict[str, Any]] = field(default_factory=list)
 
     def add(self, task: Dict[str, Any], crashes: int,
-            last_error: Dict[str, Any]) -> Dict[str, Any]:
+            last_error: Dict[str, Any],
+            flight_recorder: Optional[str] = None) -> Dict[str, Any]:
         record = {
             "task_id": task.get("task_id"),
             "point_id": task.get("point_id"),
@@ -155,6 +156,10 @@ class Quarantine:
             "config": task.get("config"),
             "crashes": crashes,
             "last_error": last_error,
+            # Path of the dead worker's flight-recorder dump (its last
+            # N events), when one was captured — the poison point's
+            # final moments travel with the manifest.
+            "flight_recorder": flight_recorder,
         }
         self.records.append(record)
         return record
@@ -202,6 +207,7 @@ class PoolSupervisor:
         serial_fn: Optional[Callable[[List[Dict[str, Any]]],
                                      List[Dict[str, Any]]]] = None,
         lease_dir: Optional[Union[str, Path]] = None,
+        flight_dir: Optional[Union[str, Path]] = None,
         log: Optional[Callable[[str], None]] = None,
     ) -> None:
         self.pool_factory = pool_factory
@@ -212,8 +218,12 @@ class PoolSupervisor:
             else Quarantine(max_point_retries=self.policy.max_point_retries)
         self.serial_fn = serial_fn
         self.lease_dir = Path(lease_dir) if lease_dir else None
+        self.flight_dir = Path(flight_dir) if flight_dir else None
         self.log = log or (lambda message: None)
         self.crashes: Dict[str, int] = {}
+        # task_id -> pid of the worker that last died holding its lease
+        # (how a quarantine record finds its flight-recorder dump).
+        self.crash_pids: Dict[str, int] = {}
 
     # -- crash-side helpers ---------------------------------------------
 
@@ -248,6 +258,17 @@ class PoolSupervisor:
         for path in self.lease_dir.glob("*.lease"):
             path.unlink(missing_ok=True)
 
+    def _flight_path(self, task_id: str) -> Optional[str]:
+        """The flight-recorder dump of the worker that last crashed
+        holding *task_id*'s lease, if it managed to write one."""
+        if self.flight_dir is None:
+            return None
+        pid = self.crash_pids.get(task_id)
+        if pid is None:
+            return None
+        path = self.flight_dir / f"flightrec-{pid}.jsonl"
+        return str(path) if path.exists() else None
+
     def _quarantined_outcome(self, task: Dict[str, Any],
                              crashes: int) -> Dict[str, Any]:
         message = (f"{task['task_id']}: worker process died on all "
@@ -256,11 +277,12 @@ class PoolSupervisor:
                    f"{self.policy.max_point_retries}-retry budget")
         error = {"type": WorkerCrashError.__name__, "message": message,
                  "retryable": False}
-        self.quarantine.add(task, crashes, error)
+        flight = self._flight_path(task["task_id"])
+        self.quarantine.add(task, crashes, error, flight_recorder=flight)
         get_registry().counter("supervisor.quarantined").inc()
         obs_events.emit("supervisor.quarantine", msg=message,
                         level="warning", task=task["task_id"],
-                        crashes=crashes)
+                        crashes=crashes, flight_recorder=flight)
         self.log(f"QUARANTINED {task['task_id']} after {crashes} "
                  f"worker crash(es)")
         return {"task": task, "status": "quarantined", "metrics": None,
@@ -274,7 +296,13 @@ class PoolSupervisor:
         leases = read_leases(self.lease_dir) if self.lease_dir else []
         exit_codes = self._exit_codes(pool)
         suspects = set(suspect_task_ids(leases, exit_codes))
+        for record in leases:
+            if record.get("task_id") in suspects \
+                    and record.get("pid") is not None:
+                self.crash_pids[record["task_id"]] = int(record["pid"])
         self._clear_leases()
+        flight_dumps = {task_id: self._flight_path(task_id)
+                        for task_id in sorted(suspects)}
         obs_events.emit("supervisor.crash", level="warning",
                         msg=(f"worker pool broke with "
                              f"{len(in_flight)} task(s) in flight "
@@ -282,7 +310,10 @@ class PoolSupervisor:
                         in_flight=len(in_flight),
                         suspects=sorted(suspects),
                         exit_codes={str(pid): code for pid, code
-                                    in exit_codes.items()})
+                                    in exit_codes.items()},
+                        flight_recorders={
+                            task_id: path for task_id, path
+                            in flight_dumps.items() if path})
         requeue: List[Dict[str, Any]] = []
         for task in in_flight:
             task_id = task["task_id"]

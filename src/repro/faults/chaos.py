@@ -274,6 +274,15 @@ class ChaosPlan:
         Call this only from inside a pool worker process.
         """
         if self.fires("worker-kill", token, dispatch):
+            try:
+                # Last words: os._exit skips every normal teardown, so
+                # the flight recorder (when installed) dumps its ring
+                # buffer here — the quarantine manifest links to it.
+                from repro.obs import flightrec
+                flightrec.dump("chaos-worker-kill", token=token,
+                               dispatch=dispatch)
+            except Exception:
+                pass
             os._exit(WORKER_KILL_EXIT_CODE)
 
     def maybe_io_error(self, op: str, token: str = "") -> None:

@@ -10,7 +10,15 @@ drive it (fault-tolerant runner, design-space engine, CLI):
   and timing histograms, snapshotted into per-run ``metrics.json``;
 * :mod:`repro.obs.tracing` — nested ``trace_span`` phase timing feeding
   both the registry and the event log;
-* :mod:`repro.obs.profiling` — optional cProfile dumps per work unit.
+* :mod:`repro.obs.profiling` — optional cProfile dumps per work unit;
+* :mod:`repro.obs.telemetry` — cross-process trace-context propagation
+  plus per-process ``trace-<pid>.jsonl`` / ``metrics-<pid>.json``;
+* :mod:`repro.obs.traceview` — trace stitching, critical-path tree,
+  Chrome/Perfetto export (``repro trace <run-dir>``);
+* :mod:`repro.obs.exposition` — OpenMetrics rendering, strict
+  validation and fleet-wide snapshot aggregation;
+* :mod:`repro.obs.flightrec` — bounded event ring buffer dumped to
+  ``flightrec-<pid>.jsonl`` on crash/SIGTERM/chaos kill.
 
 See ``docs/observability.md`` for the event schema and metric catalog.
 """
@@ -43,10 +51,28 @@ from repro.obs.metrics import (
     reset_registry,
     set_registry,
 )
+from repro.obs.exposition import (
+    aggregate_run_dir,
+    merge_snapshots,
+    render_openmetrics,
+    validate_openmetrics,
+)
+from repro.obs.flightrec import (
+    FlightRecorder,
+)
 from repro.obs.profiling import (
     maybe_profiled,
     profile_output_dir,
     profiling_enabled,
+)
+from repro.obs.telemetry import (
+    TraceContext,
+)
+from repro.obs.traceview import (
+    TraceTree,
+    build_tree,
+    load_spans,
+    to_chrome_trace,
 )
 from repro.obs.tracing import (
     Span,
@@ -62,6 +88,9 @@ __all__ = [
     "SNAPSHOT_SCHEMA", "Counter", "Gauge", "MetricsRegistry",
     "TimingHistogram", "get_registry", "record_simulation",
     "reset_registry", "set_registry",
+    "aggregate_run_dir", "merge_snapshots", "render_openmetrics",
+    "validate_openmetrics", "FlightRecorder", "TraceContext",
+    "TraceTree", "build_tree", "load_spans", "to_chrome_trace",
     "maybe_profiled", "profile_output_dir", "profiling_enabled",
     "Span", "current_span", "phase_breakdown", "trace_span",
 ]

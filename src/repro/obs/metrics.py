@@ -15,6 +15,7 @@ a registry whose :meth:`~MetricsRegistry.snapshot` equals the original
 from __future__ import annotations
 
 import json
+import math
 import threading
 from pathlib import Path
 from typing import Any, Dict, Optional, Union
@@ -55,18 +56,43 @@ class Gauge:
         self.value = float(value)
 
 
-class TimingHistogram:
-    """Streaming summary of observed durations (or any float)."""
+#: Bucket index assigned to observations <= 0 (below every power of
+#: two representable as a float; 2**-1075 rounds to the smallest
+#: subnormal, so no real observation sorts under it).
+_ZERO_BUCKET = -1075
 
-    __slots__ = ("count", "total", "min", "max")
+#: Largest exponent we exponentiate when turning a bucket index back
+#: into an upper bound (2.0**1024 overflows).
+_MAX_EXPONENT = 1023
+
+
+class TimingHistogram:
+    """Streaming summary of observed durations (or any float).
+
+    Besides count/total/min/max, observations land in log2-spaced
+    buckets (index ``ceil(log2(value))``, i.e. the bucket upper bound
+    is the next power of two), which is enough resolution to report
+    p50/p95/p99 tail latency without storing samples and makes
+    histograms mergeable across processes.
+    """
+
+    __slots__ = ("count", "total", "min", "max", "buckets")
 
     def __init__(self, count: int = 0, total: float = 0.0,
                  minimum: Optional[float] = None,
-                 maximum: Optional[float] = None) -> None:
+                 maximum: Optional[float] = None,
+                 buckets: Optional[Dict[int, int]] = None) -> None:
         self.count = count
         self.total = total
         self.min = minimum
         self.max = maximum
+        self.buckets: Dict[int, int] = dict(buckets or {})
+
+    @staticmethod
+    def _bucket_index(value: float) -> int:
+        if value <= 0.0:
+            return _ZERO_BUCKET
+        return max(_ZERO_BUCKET, math.ceil(math.log2(value)))
 
     def observe(self, value: float) -> None:
         value = float(value)
@@ -74,10 +100,55 @@ class TimingHistogram:
         self.total += value
         self.min = value if self.min is None else min(self.min, value)
         self.max = value if self.max is None else max(self.max, value)
+        index = self._bucket_index(value)
+        self.buckets[index] = self.buckets.get(index, 0) + 1
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+    def percentile(self, quantile: float) -> Optional[float]:
+        """Upper bound of the bucket holding the q-th observation.
+
+        ``None`` when no bucketed observations exist (empty histogram,
+        or one restored from a pre-bucket payload).  The bound is
+        clamped to the exact [min, max] envelope so degenerate
+        distributions report exact values.
+        """
+        if not self.buckets:
+            return None
+        if not 0.0 < quantile <= 1.0:
+            raise ValueError(f"quantile must be in (0, 1], got {quantile}")
+        bucketed = sum(self.buckets.values())
+        rank = max(1, math.ceil(quantile * bucketed))
+        seen = 0
+        for index in sorted(self.buckets):
+            seen += self.buckets[index]
+            if seen >= rank:
+                if index == _ZERO_BUCKET:
+                    bound = 0.0
+                else:
+                    bound = 2.0 ** min(index, _MAX_EXPONENT)
+                if self.min is not None:
+                    bound = max(bound, self.min)
+                if self.max is not None:
+                    bound = min(bound, self.max)
+                return bound
+        return self.max  # pragma: no cover - rank <= bucketed
+
+    def merge(self, other: "TimingHistogram") -> "TimingHistogram":
+        """Fold *other*'s observations into this histogram (in place)."""
+        self.count += other.count
+        self.total += other.total
+        for bound, current in (("min", min), ("max", max)):
+            theirs = getattr(other, bound)
+            if theirs is not None:
+                ours = getattr(self, bound)
+                setattr(self, bound,
+                        theirs if ours is None else current(ours, theirs))
+        for index, n in other.buckets.items():
+            self.buckets[index] = self.buckets.get(index, 0) + n
+        return self
 
     def to_payload(self) -> Dict[str, Any]:
         return {
@@ -86,6 +157,11 @@ class TimingHistogram:
             "min": self.min,
             "max": self.max,
             "mean": self.mean,
+            "p50": self.percentile(0.50),
+            "p95": self.percentile(0.95),
+            "p99": self.percentile(0.99),
+            "buckets": {str(index): n
+                        for index, n in sorted(self.buckets.items())},
         }
 
     @classmethod
@@ -93,7 +169,10 @@ class TimingHistogram:
         return cls(count=int(payload.get("count", 0)),
                    total=float(payload.get("total", 0.0)),
                    minimum=payload.get("min"),
-                   maximum=payload.get("max"))
+                   maximum=payload.get("max"),
+                   buckets={int(index): int(n)
+                            for index, n
+                            in payload.get("buckets", {}).items()})
 
 
 class MetricsRegistry:

@@ -1,0 +1,200 @@
+"""Stitch per-process trace files into one tree; render + export it.
+
+``repro trace <run-dir>`` loads every ``trace-<pid>.jsonl`` a fleet
+left behind (:mod:`repro.obs.telemetry`), links spans through their
+``parent`` ids across process boundaries, and renders the result as an
+indented tree with the critical path — the chain of slowest children
+from the root — highlighted.  :func:`to_chrome_trace` exports the same
+spans as Chrome/Perfetto trace-event JSON (``chrome://tracing`` or
+https://ui.perfetto.dev).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Union
+
+
+def load_spans(run_dir: Union[str, Path]) -> List[Dict[str, Any]]:
+    """Every span record under *run_dir* (``trace-*.jsonl``, recursive).
+
+    Torn trailing lines (a worker killed mid-write) are skipped, not
+    fatal — a crashed fleet is exactly when you want the trace.
+    """
+    spans: List[Dict[str, Any]] = []
+    for path in sorted(Path(run_dir).rglob("trace-*.jsonl")):
+        try:
+            text = path.read_text(encoding="utf-8")
+        except OSError:
+            continue
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue
+            if isinstance(record, dict) and record.get("span"):
+                spans.append(record)
+    return spans
+
+
+class TraceTree:
+    """One trace's spans linked into a forest (ideally a single tree)."""
+
+    def __init__(self, trace_id: str,
+                 spans: List[Dict[str, Any]]) -> None:
+        self.trace_id = trace_id
+        self.spans = spans
+        self.by_id: Dict[str, Dict[str, Any]] = {
+            span["span"]: span for span in spans}
+        self.children: Dict[Optional[str], List[str]] = {}
+        self.roots: List[str] = []
+        self.problems: List[str] = []
+        self._link()
+
+    def _link(self) -> None:
+        for span_id, span in self.by_id.items():
+            parent = span.get("parent")
+            if parent is None or parent not in self.by_id:
+                if parent is not None:
+                    self.problems.append(
+                        f"span {span_id} has unknown parent {parent}")
+                self.roots.append(span_id)
+            else:
+                self.children.setdefault(parent, []).append(span_id)
+        # Deterministic order: by start timestamp, then id.
+        key = lambda sid: (self.by_id[sid].get("ts", 0.0), sid)
+        self.roots.sort(key=key)
+        for kids in self.children.values():
+            kids.sort(key=key)
+        self._check_cycles()
+
+    def _check_cycles(self) -> None:
+        reachable = set()
+        stack = list(self.roots)
+        while stack:
+            span_id = stack.pop()
+            if span_id in reachable:
+                continue
+            reachable.add(span_id)
+            stack.extend(self.children.get(span_id, ()))
+        orphaned = set(self.by_id) - reachable
+        if orphaned:
+            # Spans unreachable from any root can only sit on a
+            # parent-link cycle.
+            self.problems.append(
+                "cycle among spans: " + ", ".join(sorted(orphaned)))
+            self.roots.extend(sorted(orphaned))
+
+    # -- structural predicates (CI asserts these) ----------------------
+
+    def single_rooted(self) -> bool:
+        return len(self.roots) == 1
+
+    def acyclic(self) -> bool:
+        return not any("cycle" in p for p in self.problems)
+
+    def pids(self) -> List[int]:
+        return sorted({int(span.get("pid", 0)) for span in self.spans})
+
+    # -- critical path -------------------------------------------------
+
+    def critical_path(self) -> List[Dict[str, Any]]:
+        """Root-to-leaf chain descending into the slowest child."""
+        if not self.roots:
+            return []
+        current = max(self.roots,
+                      key=lambda sid: self.by_id[sid].get("elapsed", 0.0))
+        path = [self.by_id[current]]
+        seen = {current}
+        while True:
+            kids = [sid for sid in self.children.get(current, ())
+                    if sid not in seen]
+            if not kids:
+                return path
+            current = max(
+                kids, key=lambda sid: self.by_id[sid].get("elapsed", 0.0))
+            seen.add(current)
+            path.append(self.by_id[current])
+
+    # -- rendering -----------------------------------------------------
+
+    def render(self) -> str:
+        critical = {span["span"] for span in self.critical_path()}
+        lines = [f"trace {self.trace_id}: {len(self.spans)} spans, "
+                 f"{len(self.pids())} processes"]
+        for problem in self.problems:
+            lines.append(f"  !! {problem}")
+
+        def _walk(span_id: str, depth: int) -> None:
+            span = self.by_id[span_id]
+            mark = "*" if span_id in critical else " "
+            label = span.get("phase", "?")
+            fields = span.get("fields") or {}
+            detail = " ".join(f"{k}={fields[k]}" for k in sorted(fields))
+            lines.append(
+                f"{mark} {'  ' * depth}{label:<12} "
+                f"{span.get('elapsed', 0.0):>9.3f}s  "
+                f"pid={span.get('pid', '?')}"
+                + (f"  {detail}" if detail else ""))
+            for child in self.children.get(span_id, ()):
+                _walk(child, depth + 1)
+
+        for root in self.roots:
+            _walk(root, 0)
+        chain = self.critical_path()
+        if chain:
+            lines.append("critical path: " + " -> ".join(
+                f"{span.get('phase', '?')}"
+                f"[{span.get('elapsed', 0.0):.3f}s]" for span in chain))
+        return "\n".join(lines)
+
+
+def split_traces(spans: Iterable[Dict[str, Any]]
+                 ) -> Dict[str, List[Dict[str, Any]]]:
+    grouped: Dict[str, List[Dict[str, Any]]] = {}
+    for span in spans:
+        grouped.setdefault(str(span.get("trace")), []).append(span)
+    return grouped
+
+
+def build_tree(spans: Iterable[Dict[str, Any]],
+               trace_id: Optional[str] = None) -> TraceTree:
+    """Link spans of one trace; default trace = the one with most spans."""
+    grouped = split_traces(spans)
+    if not grouped:
+        return TraceTree(trace_id or "empty", [])
+    if trace_id is None:
+        counts = Counter({tid: len(group)
+                          for tid, group in grouped.items()})
+        trace_id = counts.most_common(1)[0][0]
+    return TraceTree(trace_id, grouped.get(trace_id, []))
+
+
+def to_chrome_trace(tree: TraceTree) -> Dict[str, Any]:
+    """Chrome/Perfetto trace-event JSON (complete events, µs units)."""
+    trace_events = []
+    for span in tree.spans:
+        trace_events.append({
+            "name": span.get("phase", "?"),
+            "cat": "repro",
+            "ph": "X",
+            "ts": round(float(span.get("ts", 0.0)) * 1e6, 3),
+            "dur": round(float(span.get("elapsed", 0.0)) * 1e6, 3),
+            "pid": int(span.get("pid", 0)),
+            "tid": int(span.get("tid", 0)),
+            "args": dict(span.get("fields") or {},
+                         span_id=span.get("span"),
+                         parent_id=span.get("parent")),
+        })
+    trace_events.sort(key=lambda e: (e["ts"], e["pid"], e["tid"]))
+    return {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": {"trace_id": tree.trace_id,
+                      "processes": len(tree.pids())},
+    }

@@ -48,6 +48,7 @@ from repro.errors import (
 from repro.obs import events as obs_events
 from repro.obs.metrics import get_registry
 from repro.obs.profiling import maybe_profiled
+from repro.obs.tracing import trace_span
 from repro.faults import plan_from_env
 from repro.runner.checkpoint import CheckpointStore
 
@@ -274,6 +275,19 @@ class TaskRunner:
 
     def _attempt_loop(self, fn: Callable[[WorkUnit], Any],
                       unit: WorkUnit) -> UnitOutcome:
+        # One span per work unit, so a stitched fleet trace shows each
+        # unit (with retries inside it) as a child of whatever sweep /
+        # job span dispatched it.
+        span_fields = {"unit": unit.unit_id}
+        if unit.benchmark is not None:
+            span_fields["bench"] = unit.benchmark
+        if unit.seed is not None:
+            span_fields["seed"] = unit.seed
+        with trace_span("unit", **span_fields):
+            return self._attempt_loop_inner(fn, unit)
+
+    def _attempt_loop_inner(self, fn: Callable[[WorkUnit], Any],
+                            unit: WorkUnit) -> UnitOutcome:
         policy = self.policy
         registry = get_registry()
         attempt = 0

@@ -18,9 +18,10 @@ from repro.service.daemon import (
 from repro.service.jobs import Job, JobStore, job_key
 from repro.service.journal import Journal
 from repro.service.runner import run_job
+from repro.service.top import format_frame, run_top
 
 __all__ = [
     "Daemon", "Job", "JobStore", "Journal", "ServiceClient",
-    "ServiceConfig", "default_socket_path", "job_key", "run_job",
-    "serve",
+    "ServiceConfig", "default_socket_path", "format_frame",
+    "job_key", "run_job", "run_top", "serve",
 ]

@@ -26,6 +26,8 @@ from pathlib import Path
 from typing import Any, Dict, Iterator, Optional, Union
 
 from repro.errors import JobRejectedError, ServiceError
+from repro.obs import telemetry
+from repro.obs.metrics import get_registry
 from repro.service import protocol
 
 #: Rejection reasons worth retrying: transient daemon-side pressure.
@@ -128,9 +130,24 @@ class ServiceClient:
         """Submit one job; returns ``{"job": summary, "created":
         bool}``.  Safe to call repeatedly — the daemon deduplicates by
         content hash, so a retry after a dropped ack lands on the same
-        job."""
-        return self.request({"cmd": "submit", "payload": payload,
-                             "client": self.client_id})
+        job.
+
+        When this process has an active trace context
+        (:mod:`repro.obs.telemetry`), it rides the request so the
+        daemon's job span stitches into the submitter's trace —
+        without entering the dedup hash.
+        """
+        message: Dict[str, Any] = {"cmd": "submit", "payload": payload,
+                                   "client": self.client_id}
+        trace = telemetry.propagation_payload()
+        if trace is not None:
+            message["trace"] = {"trace": trace["trace"],
+                                "parent": trace.get("parent")}
+        return self.request(message)
+
+    def metrics(self) -> Dict[str, Any]:
+        """The daemon's fleet-aggregated metrics (``metrics`` verb)."""
+        return self.request({"cmd": "metrics"})
 
     def jobs(self, state: Optional[str] = None) -> list:
         message: Dict[str, Any] = {"cmd": "jobs"}
@@ -169,13 +186,10 @@ class ServiceClient:
                     f"{timeout}s")
             self.sleep(poll)
 
-    def tail(self, job_id: Optional[str] = None
-             ) -> Iterator[Dict[str, Any]]:
-        """Yield job lifecycle events as the daemon emits them.
-
-        Ends when the daemon drains, the tailed job finishes, or the
-        connection drops.
-        """
+    def _tail_stream(self, job_id: Optional[str]
+                     ) -> Iterator[Dict[str, Any]]:
+        """One tail connection; raises ConnectionError when the stream
+        dies without the daemon's orderly ``tail_end`` marker."""
         message: Dict[str, Any] = {"cmd": "tail"}
         if job_id:
             message["job"] = job_id
@@ -188,10 +202,49 @@ class ServiceClient:
                     if event is None:
                         continue
                     if event.get("tail_end"):
+                        yield event
                         return
                     if event.get("ok") and event.get("tailing"):
                         continue  # the subscription ack
                     yield event
+        raise ConnectionError("tail stream dropped without tail_end")
+
+    def tail(self, job_id: Optional[str] = None,
+             reconnect: bool = True) -> Iterator[Dict[str, Any]]:
+        """Yield job lifecycle events as the daemon emits them.
+
+        Ends when the daemon drains (orderly ``tail_end``) or the
+        tailed job finishes.  A stream that just *drops* — daemon
+        killed, restarted — is reconnected with the same jittered
+        exponential backoff as ``submit`` retries (``tail.reconnects``
+        counts them); the attempt budget resets whenever an event
+        actually arrives, so a long-lived tail survives any number of
+        daemon restarts as long as each outage stays under the budget.
+        """
+        attempt = 0
+        while True:
+            received = False
+            try:
+                for event in self._tail_stream(job_id):
+                    if event.get("tail_end"):
+                        return
+                    received = True
+                    attempt = 0
+                    yield event
+                return
+            except (ConnectionError, FileNotFoundError, OSError):
+                if not reconnect:
+                    return
+                if received:
+                    attempt = 0
+                if attempt + 1 >= self.max_attempts:
+                    raise ServiceError(
+                        f"tail of {self.socket_path} dropped and "
+                        f"stayed unreachable after "
+                        f"{self.max_attempts} attempt(s)")
+                get_registry().counter("tail.reconnects").inc()
+                self.sleep(self._backoff(attempt, None))
+                attempt += 1
 
 
 __all__ = ["RETRYABLE_REASONS", "ServiceClient"]

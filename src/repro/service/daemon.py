@@ -42,7 +42,11 @@ from typing import Any, Callable, Dict, List, Optional, Set, Union
 from repro.errors import ServiceError
 from repro.faults import plan_from_env
 from repro.obs import events as obs_events
+from repro.obs import flightrec, telemetry
+from repro.obs.exposition import aggregate_run_dir, render_openmetrics
 from repro.obs.metrics import get_registry
+from repro.obs.telemetry import TraceContext
+from repro.obs.tracing import trace_span
 from repro.service import protocol
 from repro.service.jobs import JobStore, TERMINAL_STATES
 from repro.service.runner import run_job
@@ -154,6 +158,14 @@ class Daemon:
         """Lock the state dir, recover the store, bind the socket and
         launch the workers."""
         self._acquire_lock()
+        # The daemon is a telemetry root: it mints its own trace
+        # context (jobs override it with the submitter's), writes
+        # trace/metrics files under state_dir/telemetry, and keeps a
+        # flight recorder so a daemon crash leaves its last moments.
+        # Signals stay with the asyncio handlers (request_stop dumps).
+        telemetry_dir = self.config.state_dir / "telemetry"
+        telemetry.start(trace_dir=telemetry_dir)
+        flightrec.install(telemetry_dir, signals=False)
         report = self.store.recover()
         self._loop = asyncio.get_running_loop()
         self._wake = asyncio.Event()
@@ -194,6 +206,8 @@ class Daemon:
                             msg=f"drain requested ({reason}); new "
                                 f"submissions are rejected",
                             reason=reason)
+            if reason in ("SIGTERM", "SIGINT"):
+                flightrec.dump(f"drain-{reason.lower()}")
             self._stop.set()
             self._wake.set()
 
@@ -249,9 +263,14 @@ class Daemon:
             tail.queue.put_nowait(None)
         self.config.socket_path.unlink(missing_ok=True)
         self._release_lock()
+        telemetry.flush_metrics(force=True)
         obs_events.emit("service.stopped",
                         msg="service stopped (state checkpointed)",
                         counts=self.store.counts())
+        # Graceful exits don't need the black box; tear telemetry down
+        # so a host process (tests) returns to its pre-daemon state.
+        flightrec.uninstall()
+        telemetry.reset()
 
     # -- event fan-out ---------------------------------------------------
 
@@ -324,7 +343,9 @@ class Daemon:
         heartbeat = self._loop.create_task(self._heartbeat(job_id))
         started = time.monotonic()
         try:
-            result = await self._run_in_thread(dict(job.payload))
+            result = await self._run_in_thread(dict(job.payload),
+                                               job_id=job_id,
+                                               trace=job.trace)
         except Exception as exc:  # noqa: BLE001 — job code is arbitrary
             job = self.store.mark_failed(job_id, {
                 "type": type(exc).__name__,
@@ -354,12 +375,22 @@ class Daemon:
                 pass
         self._resolve_waiters(job_id)
 
-    def _run_in_thread(self, payload: Dict[str, Any]) -> "asyncio.Future":
+    def _run_in_thread(self, payload: Dict[str, Any],
+                       job_id: Optional[str] = None,
+                       trace: Optional[Dict[str, Any]] = None
+                       ) -> "asyncio.Future":
         """Run the job on a *daemon* thread (not the default executor):
         a drained daemon must exit at the deadline even when an
         abandoned job is still sleeping in a syscall — the requeue
-        entry, not the thread, owns that work now."""
+        entry, not the thread, owns that work now.
+
+        The thread adopts the submitter's trace context (falling back
+        to the daemon's own) so the job span — and every sweep/unit
+        span it spawns, in this or any pool process — stitches into
+        the client's distributed trace.
+        """
         future = self._loop.create_future()
+        context = TraceContext.from_wire(trace) or telemetry.current_context()
 
         def deliver(setter, value):
             if not future.done():
@@ -367,7 +398,10 @@ class Daemon:
 
         def work():
             try:
-                result = self.job_runner(payload)
+                with telemetry.activate(context):
+                    with trace_span("job", job=job_id,
+                                    kind=payload.get("kind")):
+                        result = self.job_runner(payload)
             except BaseException as exc:  # noqa: BLE001
                 outcome = (future.set_exception, exc)
             else:
@@ -438,6 +472,8 @@ class Daemon:
                 queue_depth=self.store.queue_depth(),
                 active=sorted(self._active),
                 workers=self.config.workers)
+        elif cmd == "metrics":
+            response = self._handle_metrics()
         elif cmd == "submit":
             return await self._handle_submit(request, writer)
         elif cmd == "jobs":
@@ -474,6 +510,31 @@ class Daemon:
         await writer.drain()
         return False
 
+    def _handle_metrics(self) -> Dict[str, Any]:
+        """The ``metrics`` verb: fleet-aggregated counters/histograms.
+
+        Flushes the daemon's own registry into the telemetry dir, then
+        merges every per-process ``metrics-<pid>.json`` found there —
+        pool workers included — so one socket round-trip answers for
+        the whole fleet (``repro top``'s refresh, or an OpenMetrics
+        scrape via ``repro top --openmetrics``).
+        """
+        telemetry.flush_metrics(force=True)
+        trace_dir = telemetry.trace_directory()
+        if trace_dir is not None:
+            snapshot = aggregate_run_dir(trace_dir)
+        else:
+            snapshot = get_registry().snapshot()
+        return protocol.ok(
+            metrics=snapshot,
+            openmetrics=render_openmetrics(snapshot),
+            counts=self.store.counts(),
+            queue_depth=self.store.queue_depth(),
+            active=sorted(self._active),
+            workers=self.config.workers,
+            draining=self.draining,
+            pid=os.getpid())
+
     async def _handle_submit(self, request: Dict[str, Any],
                              writer: asyncio.StreamWriter) -> bool:
         payload = request.get("payload")
@@ -497,7 +558,10 @@ class Daemon:
                 writer.write(protocol.encode(response))
                 await writer.drain()
                 return False
-        job, created = self.store.submit(payload, client)
+        trace = request.get("trace")
+        job, created = self.store.submit(
+            payload, client,
+            trace=trace if isinstance(trace, dict) else None)
         if created or revives:
             self._wake.set()
         obs_events.emit(

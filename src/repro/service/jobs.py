@@ -70,6 +70,10 @@ class Job:
     result: Optional[Dict[str, Any]] = None
     error: Optional[Dict[str, Any]] = None
     cancel_requested: bool = False
+    # Submitter's trace context (TraceContext.to_wire).  Deliberately
+    # OUTSIDE job_key: two clients submitting the same work from
+    # different traces must still dedup onto one job.
+    trace: Optional[Dict[str, Any]] = None
 
     def to_payload(self) -> Dict[str, Any]:
         return {
@@ -80,6 +84,7 @@ class Job:
             "requeues": self.requeues, "result": self.result,
             "error": self.error,
             "cancel_requested": self.cancel_requested,
+            "trace": self.trace,
         }
 
     @classmethod
@@ -87,7 +92,7 @@ class Job:
         return cls(**{key: payload.get(key) for key in (
             "job_id", "key", "payload", "client", "state", "created",
             "updated", "attempts", "requeues", "result", "error",
-            "cancel_requested")})
+            "cancel_requested", "trace")})
 
     def summary(self) -> Dict[str, Any]:
         """The listing row ``repro jobs`` renders."""
@@ -271,14 +276,17 @@ class JobStore:
         if self._mutations_since_checkpoint >= self.checkpoint_every:
             self.checkpoint()
 
-    def submit(self, payload: Dict[str, Any],
-               client: str) -> Tuple[Job, bool]:
+    def submit(self, payload: Dict[str, Any], client: str,
+               trace: Optional[Dict[str, Any]] = None
+               ) -> Tuple[Job, bool]:
         """Admit one submission; returns ``(job, created)``.
 
         Identical payloads dedup onto the existing job: in-flight
         submissions return it untouched, finished ``done`` jobs
         short-circuit (their result is already durable), and
         ``failed``/``cancelled`` jobs are revived back onto the queue.
+        *trace* (the submitter's wire trace context) rides along
+        without entering the identity hash.
         """
         key = job_key(payload)
         job_id = key[:12]
@@ -291,10 +299,13 @@ class JobStore:
             existing.error = None
             existing.result = None
             existing.cancel_requested = False
+            if trace:
+                existing.trace = dict(trace)
             self._commit(existing)
             return existing, False
         job = Job(job_id=job_id, key=key, payload=dict(payload),
-                  client=client, created=time.time())
+                  client=client, created=time.time(),
+                  trace=dict(trace) if trace else None)
         self._commit(job)
         return job, True
 

@@ -8,6 +8,13 @@ Streaming commands (``tail``) send many lines and finish with a
 ``{"tail_end": true}`` marker.  The format is deliberately trivial:
 any language — or ``nc -U`` — can speak it, and a torn line (daemon
 killed mid-write) fails JSON parsing instead of being half-believed.
+
+Protocol 2 additions: ``submit`` accepts an optional ``trace`` field
+(a :meth:`repro.obs.telemetry.TraceContext.to_wire` payload, excluded
+from the idempotency hash) so jobs stitch into the submitting client's
+distributed trace, and a ``metrics`` verb returns the daemon's
+fleet-aggregated registry snapshot plus its OpenMetrics rendering
+(the feed for ``repro top`` and scrapers).
 """
 
 from __future__ import annotations
@@ -16,7 +23,7 @@ import json
 from typing import Any, Dict, Optional
 
 #: Protocol revision, echoed by ``ping`` so clients can detect skew.
-PROTOCOL = 1
+PROTOCOL = 2
 
 #: A request/response line larger than this is a protocol violation
 #: (or an attack on the daemon's memory); the connection is dropped.

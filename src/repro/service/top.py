@@ -1,0 +1,132 @@
+"""``repro top``: a live plain-text view of the fleet.
+
+Polls the daemon's ``metrics`` verb (protocol 2) and renders queue
+depth, in-flight jobs, cache hit rate, evaluation throughput and
+per-phase latency percentiles as a refreshing text frame — ``watch``
+semantics with no external dependencies, over the same Unix socket
+every other client command uses.
+
+Rates (points/sec) are derived client-side from consecutive counter
+snapshots, so the daemon stays stateless about its observers.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.errors import ServiceError
+
+
+def compute_rates(previous: Optional[Dict[str, Any]],
+                  current: Dict[str, Any],
+                  elapsed: float) -> Dict[str, float]:
+    """Per-second deltas of throughput counters between two snapshots."""
+    rates: Dict[str, float] = {}
+    if previous is None or elapsed <= 0:
+        return rates
+    prev_counters = previous.get("counters", {})
+    counters = current.get("counters", {})
+    for name in ("dse.evaluated", "service.jobs_done",
+                 "runner.units_ok"):
+        delta = int(counters.get(name, 0)) \
+            - int(prev_counters.get(name, 0))
+        if delta >= 0:
+            rates[name] = delta / elapsed
+    return rates
+
+
+def cache_hit_rate(snapshot: Dict[str, Any]) -> Optional[float]:
+    counters = snapshot.get("counters", {})
+    hits = int(counters.get("dse.cache_hits", 0))
+    misses = int(counters.get("dse.cache_misses", 0))
+    total = hits + misses
+    return hits / total if total else None
+
+
+def _fmt_seconds(value: Optional[float]) -> str:
+    if value is None:
+        return "-"
+    if value >= 100:
+        return f"{value:.0f}s"
+    if value >= 1:
+        return f"{value:.2f}s"
+    return f"{value * 1000:.1f}ms"
+
+
+def format_frame(response: Dict[str, Any],
+                 rates: Optional[Dict[str, float]] = None) -> str:
+    """One refresh of the top view, as plain text."""
+    rates = rates or {}
+    snapshot = response.get("metrics", {})
+    counts = response.get("counts", {})
+    lines: List[str] = []
+    state = "draining" if response.get("draining") else "serving"
+    lines.append(
+        f"repro top — daemon pid {response.get('pid', '?')} "
+        f"({state}, {response.get('workers', '?')} worker(s), "
+        f"{snapshot.get('processes', 1)} process(es) aggregated)")
+    lines.append(
+        f"jobs: queued={response.get('queue_depth', 0)} "
+        f"running={len(response.get('active', []))} "
+        f"done={counts.get('done', 0)} "
+        f"failed={counts.get('failed', 0)} "
+        f"cancelled={counts.get('cancelled', 0)}")
+    hit_rate = cache_hit_rate(snapshot)
+    throughput = rates.get("dse.evaluated")
+    lines.append(
+        "sweep: points/sec="
+        + (f"{throughput:.2f}" if throughput is not None else "-")
+        + " cache-hit-rate="
+        + (f"{hit_rate * 100:.1f}%" if hit_rate is not None else "-")
+        + f" evaluated={snapshot.get('counters', {}).get('dse.evaluated', 0)}")
+    phases = snapshot.get("phases", {})
+    if phases:
+        lines.append("")
+        lines.append(f"{'phase':<14}{'count':>8}{'p50':>10}"
+                     f"{'p95':>10}{'p99':>10}{'total':>10}")
+        for name in sorted(phases):
+            payload = phases[name]
+            lines.append(
+                f"{name:<14}{payload.get('count', 0):>8}"
+                f"{_fmt_seconds(payload.get('p50')):>10}"
+                f"{_fmt_seconds(payload.get('p95')):>10}"
+                f"{_fmt_seconds(payload.get('p99')):>10}"
+                f"{_fmt_seconds(payload.get('total')):>10}")
+    return "\n".join(lines)
+
+
+def run_top(client: Any, interval: float = 2.0, once: bool = False,
+            emit: Callable[[str], None] = print,
+            clock: Callable[[], float] = time.monotonic,
+            sleep: Callable[[float], None] = time.sleep) -> int:
+    """The ``repro top`` loop; returns a CLI exit code.
+
+    *client* needs a ``metrics()`` method (a
+    :class:`~repro.service.client.ServiceClient`); injectable clock /
+    sleep / emit keep the loop unit-testable without a daemon.
+    """
+    previous: Optional[Dict[str, Any]] = None
+    previous_at: Optional[float] = None
+    while True:
+        try:
+            response = client.metrics()
+        except ServiceError as exc:
+            emit(f"repro top: {exc}")
+            return 1
+        now = clock()
+        rates = compute_rates(previous, response.get("metrics", {}),
+                              now - previous_at
+                              if previous_at is not None else 0.0)
+        # ANSI clear + home between frames; plain separator keeps the
+        # output readable when piped to a file.
+        frame = format_frame(response, rates)
+        emit("\x1b[2J\x1b[H" + frame if not once else frame)
+        if once:
+            return 0
+        previous = response.get("metrics", {})
+        previous_at = now
+        try:
+            sleep(interval)
+        except KeyboardInterrupt:
+            return 0

@@ -121,3 +121,36 @@ def test_write_bench_round_trips(tmp_path):
     path = tmp_path / "BENCH_hotpath.json"
     write_bench(payload, path)
     assert json.loads(path.read_text()) == payload
+
+
+class TestTrajectory:
+    def test_append_creates_and_accumulates(self, tmp_path):
+        from repro.bench import TRAJECTORY_SCHEMA, append_trajectory
+
+        path = tmp_path / "perf" / "TRAJECTORY.jsonl"
+        payload = make_payload()
+        assert append_trajectory(payload, path=path) == path
+        append_trajectory(make_payload(profile=9.9), path=path)
+        entries = [json.loads(line)
+                   for line in path.read_text().splitlines()]
+        assert len(entries) == 2
+        first, second = entries
+        assert first["schema"] == TRAJECTORY_SCHEMA
+        assert first["benchmark"] == "gzip"
+        assert first["quick"] is True
+        assert first["speedups"]["profile"] == 1.2
+        assert second["speedups"]["profile"] == 9.9
+        assert first["ts"] <= second["ts"]
+
+    def test_entry_records_git_sha_inside_a_repo(self, tmp_path):
+        from repro.bench import append_trajectory, git_sha
+
+        sha = git_sha()
+        if sha is not None:  # this checkout is a git repo
+            assert len(sha) == 12
+            int(sha, 16)
+        path = tmp_path / "TRAJECTORY.jsonl"
+        append_trajectory(make_payload(), path=path)
+        (entry,) = [json.loads(line)
+                    for line in path.read_text().splitlines()]
+        assert entry["git_sha"] == sha

@@ -1,0 +1,100 @@
+"""docs/observability.md vs the source: the inventories may not drift.
+
+The doc's event and metric catalogs are delimited by HTML-comment
+markers; this test scans ``src/repro`` for every literally-emitted
+event name and every registered metric name and fails — in either
+direction — when the two sets disagree.  Dynamic name segments
+(f-string interpolations) normalize to ``<>`` on both sides.
+"""
+
+import re
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+SRC = ROOT / "src" / "repro"
+DOC = ROOT / "docs" / "observability.md"
+
+EVENT_PATTERNS = (
+    # events.emit("name", ...) / obs.emit("name", ...)
+    re.compile(r'\bemit\(\s*"([a-z0-9_.]+)"'),
+    # obs.warn(..., event="name") and friends
+    re.compile(r'\bevent="([a-z0-9_.]+)"'),
+)
+METRIC_PATTERN = re.compile(
+    r'\.(counter|gauge|histogram)\(\s*(f?)"([^"]+)"')
+DOC_ENTRY = re.compile(r"^- `([a-z0-9_.<>]+)`", re.MULTILINE)
+
+
+def _doc_region(marker: str) -> str:
+    text = DOC.read_text()
+    begin = text.index(f"<!-- {marker}:begin -->")
+    end = text.index(f"<!-- {marker}:end -->")
+    return text[begin:end]
+
+
+def documented(marker: str) -> set:
+    names = set(DOC_ENTRY.findall(_doc_region(marker)))
+    # Readable placeholders like `<site>` normalize to `<>`.
+    return {re.sub(r"<[a-z_]*>", "<>", name) for name in names}
+
+
+def scan_events() -> set:
+    names = set()
+    for path in sorted(SRC.rglob("*.py")):
+        text = path.read_text()
+        for pattern in EVENT_PATTERNS:
+            names.update(pattern.findall(text))
+    return names
+
+
+def scan_metrics() -> set:
+    names = set()
+    for path in sorted(SRC.rglob("*.py")):
+        text = path.read_text()
+        for _kind, fprefix, name in METRIC_PATTERN.findall(text):
+            if fprefix:
+                name = re.sub(r"\{[^}]*\}", "<>", name)
+            names.add(name)
+    # Built by concatenation (PHASE_PREFIX + span.phase) in tracing.py,
+    # invisible to the literal scan.
+    names.add("phase.<>")
+    return names
+
+
+class TestEventCatalog:
+    def test_scan_finds_a_plausible_inventory(self):
+        events = scan_events()
+        assert len(events) > 30
+        assert "run_start" in events and "unit_retry" in events
+
+    def test_every_emitted_event_is_documented(self):
+        missing = scan_events() - documented("events")
+        assert not missing, (
+            f"events emitted in src/ but absent from "
+            f"docs/observability.md: {sorted(missing)}")
+
+    def test_every_documented_event_is_emitted(self):
+        stale = documented("events") - scan_events()
+        assert not stale, (
+            f"events documented in docs/observability.md but never "
+            f"emitted in src/: {sorted(stale)}")
+
+
+class TestMetricCatalog:
+    def test_scan_finds_a_plausible_inventory(self):
+        metrics = scan_metrics()
+        assert len(metrics) > 30
+        assert "dse.evaluated" in metrics
+        assert "pipeline.activity.<>" in metrics
+
+    def test_every_registered_metric_is_documented(self):
+        missing = scan_metrics() - documented("metrics")
+        assert not missing, (
+            f"metrics registered in src/ but absent from "
+            f"docs/observability.md: {sorted(missing)}")
+
+    def test_every_documented_metric_is_registered(self):
+        stale = documented("metrics") - scan_metrics()
+        assert not stale, (
+            f"metrics documented in docs/observability.md but never "
+            f"registered in src/: {sorted(stale)}")

@@ -1,0 +1,148 @@
+"""OpenMetrics exposition, the strict validator, and fleet merging."""
+
+import json
+
+import pytest
+
+from repro.obs.exposition import (
+    aggregate_run_dir,
+    merge_snapshots,
+    render_openmetrics,
+    sanitize_name,
+    validate_openmetrics,
+)
+from repro.obs.metrics import MetricsRegistry, TimingHistogram
+
+
+def make_snapshot(**overrides):
+    registry = MetricsRegistry()
+    registry.counter("dse.evaluated").inc(4)
+    registry.gauge("pipeline.ipc").set(2.5)
+    hist = registry.histogram("phase.simulate")
+    for value in (0.1, 0.2, 0.4):
+        hist.observe(value)
+    snapshot = registry.snapshot()
+    snapshot.update(overrides)
+    return snapshot
+
+
+class TestRender:
+    def test_render_is_valid_openmetrics(self):
+        text = render_openmetrics(make_snapshot())
+        assert validate_openmetrics(text) == []
+
+    def test_counters_get_total_suffix(self):
+        text = render_openmetrics(make_snapshot())
+        assert "# TYPE repro_dse_evaluated counter" in text
+        assert "repro_dse_evaluated_total 4" in text
+
+    def test_histograms_expose_quantiles(self):
+        text = render_openmetrics(make_snapshot())
+        assert "# TYPE repro_phase_simulate summary" in text
+        assert 'repro_phase_simulate{quantile="0.5"}' in text
+        assert 'repro_phase_simulate{quantile="0.99"}' in text
+        assert "repro_phase_simulate_count 3" in text
+
+    def test_ends_with_single_eof(self):
+        text = render_openmetrics(make_snapshot())
+        assert text.endswith("# EOF\n")
+        assert text.count("# EOF") == 1
+
+    def test_empty_snapshot_still_valid(self):
+        text = render_openmetrics({})
+        assert text == "# EOF\n"
+        assert validate_openmetrics(text) == []
+
+    def test_sanitize_name(self):
+        assert sanitize_name("dse.cache_hits") == "repro_dse_cache_hits"
+        assert sanitize_name("pipeline.activity.l1d") \
+            == "repro_pipeline_activity_l1d"
+
+
+class TestValidator:
+    def test_missing_eof_flagged(self):
+        assert any("EOF" in problem for problem in
+                   validate_openmetrics("repro_x 1\n"))
+
+    def test_missing_trailing_newline_flagged(self):
+        assert any("newline" in problem for problem in
+                   validate_openmetrics("# EOF"))
+
+    def test_sample_before_type_flagged(self):
+        text = "repro_x_total 1\n# TYPE repro_x counter\n# EOF\n"
+        assert any("precedes" in problem for problem in
+                   validate_openmetrics(text))
+
+    def test_counter_without_total_suffix_flagged(self):
+        text = "# TYPE repro_x counter\nrepro_x 1\n# EOF\n"
+        assert any("_total" in problem for problem in
+                   validate_openmetrics(text))
+
+    def test_non_numeric_value_flagged(self):
+        text = "# TYPE repro_x gauge\nrepro_x banana\n# EOF\n"
+        assert any("non-numeric" in problem for problem in
+                   validate_openmetrics(text))
+
+    def test_duplicate_sample_flagged(self):
+        text = ("# TYPE repro_x gauge\nrepro_x 1\nrepro_x 2\n# EOF\n")
+        assert any("duplicate sample" in problem for problem in
+                   validate_openmetrics(text))
+
+
+class TestMerge:
+    def test_counters_sum_and_processes_counted(self):
+        merged = merge_snapshots([make_snapshot(), make_snapshot()])
+        assert merged["processes"] == 2
+        assert merged["counters"]["dse.evaluated"] == 8
+
+    def test_histograms_merge_exactly(self):
+        merged = merge_snapshots([make_snapshot(), make_snapshot()])
+        payload = merged["histograms"]["phase.simulate"]
+        assert payload["count"] == 6
+        assert payload["total"] == pytest.approx(1.4)
+        restored = TimingHistogram.from_payload(payload)
+        assert restored.percentile(0.5) is not None
+
+    def test_phases_view_rebuilt(self):
+        merged = merge_snapshots([make_snapshot()])
+        assert "simulate" in merged["phases"]
+        assert merged["phases"]["simulate"]["count"] == 3
+
+    def test_gauges_last_write_wins(self):
+        second = make_snapshot()
+        second["gauges"]["pipeline.ipc"] = 9.0
+        merged = merge_snapshots([make_snapshot(), second])
+        assert merged["gauges"]["pipeline.ipc"] == 9.0
+
+    def test_garbage_entries_skipped(self):
+        merged = merge_snapshots([None, "nope", make_snapshot()])
+        assert merged["processes"] == 1
+
+    def test_merged_renders_valid(self):
+        merged = merge_snapshots([make_snapshot(), make_snapshot()])
+        assert validate_openmetrics(render_openmetrics(merged)) == []
+
+
+class TestAggregateRunDir:
+    def test_aggregates_per_pid_files(self, tmp_path):
+        (tmp_path / "metrics-100.json").write_text(
+            json.dumps(make_snapshot()))
+        nested = tmp_path / "sub"
+        nested.mkdir()
+        (nested / "metrics-200.json").write_text(
+            json.dumps(make_snapshot()))
+        merged = aggregate_run_dir(tmp_path)
+        assert merged["processes"] == 2
+        assert merged["counters"]["dse.evaluated"] == 8
+
+    def test_corrupt_files_skipped(self, tmp_path):
+        (tmp_path / "metrics-100.json").write_text("{torn")
+        (tmp_path / "metrics-200.json").write_text(
+            json.dumps(make_snapshot()))
+        merged = aggregate_run_dir(tmp_path)
+        assert merged["processes"] == 1
+
+    def test_empty_dir_yields_empty_valid_snapshot(self, tmp_path):
+        merged = aggregate_run_dir(tmp_path)
+        assert merged["processes"] == 0
+        assert validate_openmetrics(render_openmetrics(merged)) == []

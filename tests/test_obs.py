@@ -149,6 +149,68 @@ class TestMetricsRegistry:
         clone = TimingHistogram.from_payload(hist.to_payload())
         assert clone.to_payload() == hist.to_payload()
 
+    def test_histogram_percentiles_in_payload(self):
+        hist = TimingHistogram()
+        for value in [0.01] * 90 + [0.5] * 9 + [8.0]:
+            hist.observe(value)
+        payload = hist.to_payload()
+        # Log2 buckets: an estimate is the bucket's upper bound, so
+        # it is within 2x above the true quantile, never below its
+        # bucket's floor.
+        assert 0.01 <= payload["p50"] <= 0.02
+        assert 0.5 <= payload["p95"] <= 1.0
+        assert 0.5 <= payload["p99"] <= 1.0  # rank 99 of 100 is a 0.5
+        assert hist.percentile(1.0) == pytest.approx(8.0)
+
+    def test_histogram_percentile_bounds(self):
+        hist = TimingHistogram()
+        assert hist.percentile(0.5) is None  # empty
+        hist.observe(3.0)
+        assert hist.percentile(0.5) == pytest.approx(3.0)
+        assert hist.percentile(1.0) == pytest.approx(3.0)
+        with pytest.raises(ValueError):
+            hist.percentile(0.0)
+        with pytest.raises(ValueError):
+            hist.percentile(1.5)
+
+    def test_histogram_percentile_clamped_to_observed_range(self):
+        hist = TimingHistogram()
+        for value in (3.0, 3.5):  # both in the (2, 4] bucket
+            hist.observe(value)
+        # The bucket bound (4.0) exceeds the true max; clamp wins.
+        assert hist.percentile(0.99) == pytest.approx(3.5)
+
+    def test_histogram_zero_and_negative_observations(self):
+        hist = TimingHistogram()
+        hist.observe(0.0)
+        hist.observe(-1.0)
+        hist.observe(2.0)
+        payload = hist.to_payload()
+        assert payload["count"] == 3
+        assert payload["p50"] == pytest.approx(0.0)
+
+    def test_histogram_merge_sums_buckets(self):
+        left, right = TimingHistogram(), TimingHistogram()
+        for value in (0.1, 0.2):
+            left.observe(value)
+        for value in (4.0, 8.0):
+            right.observe(value)
+        merged = left.merge(right)
+        assert merged is left
+        assert merged.count == 4
+        assert merged.min == pytest.approx(0.1)
+        assert merged.max == pytest.approx(8.0)
+        assert merged.percentile(0.99) == pytest.approx(8.0)
+
+    def test_percentiles_survive_round_trip(self):
+        hist = TimingHistogram()
+        for value in (0.1, 0.5, 2.0, 9.0):
+            hist.observe(value)
+        clone = TimingHistogram.from_payload(hist.to_payload())
+        for quantile in (0.5, 0.95, 0.99):
+            assert clone.percentile(quantile) \
+                == pytest.approx(hist.percentile(quantile))
+
     def test_record_simulation_publishes_pipeline_metrics(self):
         class FakeResult:
             cycles = 100

@@ -382,3 +382,169 @@ class TestKillDashNine:
                 second.kill()
                 second.wait(timeout=10)
         assert second.returncode == 0
+
+
+class TestMetricsVerb:
+    def test_metrics_aggregates_and_renders(self, tmp_path):
+        from repro.obs.exposition import validate_openmetrics
+
+        config = make_config(tmp_path)
+
+        async def scenario(daemon, client):
+            response = await call(client.submit, SLEEP)
+            await call(client.wait, response["job"]["job_id"], 10.0)
+            return await call(client.metrics)
+
+        response = run_scenario(make_config(tmp_path), scenario)
+        assert response["ok"]
+        assert response["counts"]["done"] == 1
+        assert response["queue_depth"] == 0
+        assert response["workers"] == 1
+        snapshot = response["metrics"]
+        # The registry is process-global across in-process daemon
+        # tests, so counts are lower bounds.
+        assert snapshot["counters"]["service.jobs_done"] >= 1
+        assert "job" in snapshot["phases"]
+        assert snapshot["phases"]["job"]["p50"] is not None
+        text = response["openmetrics"]
+        assert validate_openmetrics(text) == []
+        assert "repro_service_jobs_done_total" in text
+
+    def test_metrics_on_idle_daemon(self, tmp_path):
+        async def scenario(daemon, client):
+            return await call(client.metrics)
+
+        response = run_scenario(make_config(tmp_path), scenario)
+        assert response["ok"]
+        assert response["counts"]["done"] == 0
+        assert not response["draining"]
+
+
+class TestTraceStitching:
+    def test_job_span_parents_under_submitted_trace(self, tmp_path):
+        from repro.obs.traceview import load_spans
+
+        config = make_config(tmp_path)
+        trace_id, parent_id = "ab" * 16, "cd" * 8
+
+        async def scenario(daemon, client):
+            message = {"cmd": "submit", "payload": dict(SLEEP),
+                       "client": "traced",
+                       "trace": {"trace": trace_id,
+                                 "parent": parent_id}}
+            response = await call(client.request, message)
+            job_id = response["job"]["job_id"]
+            await call(client.wait, job_id, 10.0)
+            # Same payload without the trace dedups onto the same
+            # job: the context rides outside the idempotency hash.
+            again = await call(client.submit, dict(SLEEP))
+            assert not again["created"]
+            assert again["job"]["job_id"] == job_id
+            return job_id
+
+        job_id = run_scenario(config, scenario)
+        spans = load_spans(config.state_dir / "telemetry")
+        job_spans = [span for span in spans
+                     if span["phase"] == "job"
+                     and span["fields"].get("job") == job_id]
+        assert job_spans, "daemon must record the job span"
+        assert job_spans[0]["trace"] == trace_id
+        assert job_spans[0]["parent"] == parent_id
+
+    def test_untraced_submission_still_spans(self, tmp_path):
+        from repro.obs.traceview import load_spans
+
+        config = make_config(tmp_path)
+
+        async def scenario(daemon, client):
+            response = await call(client.submit, dict(SLEEP))
+            job_id = response["job"]["job_id"]
+            await call(client.wait, job_id, 10.0)
+            return job_id
+
+        job_id = run_scenario(config, scenario)
+        spans = load_spans(config.state_dir / "telemetry")
+        job_spans = [span for span in spans
+                     if span["phase"] == "job"
+                     and span["fields"].get("job") == job_id]
+        assert job_spans  # daemon's own context roots the span
+
+    def test_drain_dumps_flight_recorder(self, tmp_path):
+        config = make_config(tmp_path)
+
+        async def scenario(daemon, client):
+            await call(client.ping)
+            daemon.request_stop("SIGTERM")
+
+        run_scenario(config, scenario)
+        dumps = list((config.state_dir / "telemetry")
+                     .glob("flightrec-*.jsonl"))
+        assert dumps
+        header = json.loads(dumps[0].read_text().splitlines()[0])
+        assert header["reason"] == "drain-sigterm"
+
+
+class TestTailReconnect:
+    def make_client(self, streams, sleeps):
+        client = ServiceClient("/nonexistent.sock", max_attempts=3,
+                               backoff_base=0.01, backoff_cap=0.05,
+                               sleep=sleeps.append)
+        iterator = iter(streams)
+
+        def fake_stream(job_id):
+            outcome = next(iterator)
+            yield from outcome.get("events", [])
+            if outcome.get("drop"):
+                raise ConnectionError("dropped")
+            yield {"tail_end": True}
+
+        client._tail_stream = fake_stream
+        return client
+
+    def counter_value(self):
+        from repro.obs import get_registry
+
+        return get_registry().snapshot()["counters"].get(
+            "tail.reconnects", 0)
+
+    def test_drop_reconnects_and_resumes(self):
+        sleeps = []
+        before = self.counter_value()
+        client = self.make_client([
+            {"events": [{"event": "service.job_started", "job": "j"}],
+             "drop": True},
+            {"events": [{"event": "service.job_done", "job": "j"}]},
+        ], sleeps)
+        events = list(client.tail("j"))
+        assert [event["event"] for event in events] \
+            == ["service.job_started", "service.job_done"]
+        assert len(sleeps) == 1  # one backoff for one reconnect
+        assert self.counter_value() == before + 1
+
+    def test_attempt_budget_resets_on_received_events(self):
+        sleeps = []
+        streams = [{"events": [{"event": "service.job_started"}],
+                    "drop": True}] * 6 \
+            + [{"events": [{"event": "service.job_done"}]}]
+        client = self.make_client(streams, sleeps)
+        events = list(client.tail("j"))
+        # 6 drops each delivered an event first, so the budget reset
+        # every time and the tail survived far past max_attempts=3.
+        assert len(events) == 7
+        assert len(sleeps) == 6
+
+    def test_persistent_outage_raises_after_budget(self):
+        sleeps = []
+        client = self.make_client([{"drop": True}] * 10, sleeps)
+        with pytest.raises(ServiceError, match="stayed unreachable"):
+            list(client.tail("j"))
+        assert len(sleeps) == 2  # max_attempts=3 -> 2 backoffs
+
+    def test_reconnect_false_ends_quietly(self):
+        sleeps = []
+        client = self.make_client([
+            {"events": [{"event": "service.job_started"}],
+             "drop": True}], sleeps)
+        events = list(client.tail("j", reconnect=False))
+        assert len(events) == 1
+        assert sleeps == []

@@ -1,0 +1,141 @@
+"""``repro top``: frame rendering, rates and the poll loop."""
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.service.top import (
+    cache_hit_rate,
+    compute_rates,
+    format_frame,
+    run_top,
+)
+
+
+def make_response(**overrides):
+    response = {
+        "ok": True,
+        "pid": 4321,
+        "workers": 2,
+        "draining": False,
+        "queue_depth": 3,
+        "active": ["j1", "j2"],
+        "counts": {"done": 5, "failed": 1, "cancelled": 0},
+        "metrics": {
+            "processes": 3,
+            "counters": {"dse.evaluated": 40, "dse.cache_hits": 30,
+                         "dse.cache_misses": 10},
+            "phases": {
+                "evaluate": {"count": 40, "p50": 0.05, "p95": 0.2,
+                             "p99": 0.4, "total": 2.5},
+                "job": {"count": 5, "p50": 1.2, "p95": 2.0,
+                        "p99": None, "total": 6.0},
+            },
+        },
+    }
+    response.update(overrides)
+    return response
+
+
+class TestComputations:
+    def test_rates_are_per_second_deltas(self):
+        previous = {"counters": {"dse.evaluated": 10}}
+        current = {"counters": {"dse.evaluated": 40}}
+        rates = compute_rates(previous, current, 2.0)
+        assert rates["dse.evaluated"] == pytest.approx(15.0)
+
+    def test_rates_empty_without_baseline(self):
+        assert compute_rates(None, {"counters": {}}, 2.0) == {}
+        assert compute_rates({}, {"counters": {}}, 0.0) == {}
+
+    def test_counter_reset_yields_no_rate(self):
+        previous = {"counters": {"dse.evaluated": 50}}
+        current = {"counters": {"dse.evaluated": 10}}
+        assert "dse.evaluated" not in compute_rates(
+            previous, current, 1.0)
+
+    def test_cache_hit_rate(self):
+        assert cache_hit_rate(make_response()["metrics"]) \
+            == pytest.approx(0.75)
+        assert cache_hit_rate({"counters": {}}) is None
+
+
+class TestFrame:
+    def test_frame_headline(self):
+        frame = format_frame(make_response())
+        assert "daemon pid 4321" in frame
+        assert "serving" in frame
+        assert "2 worker(s)" in frame
+        assert "3 process(es) aggregated" in frame
+
+    def test_frame_jobs_line(self):
+        frame = format_frame(make_response())
+        assert "queued=3" in frame
+        assert "running=2" in frame
+        assert "done=5" in frame and "failed=1" in frame
+
+    def test_frame_sweep_line(self):
+        frame = format_frame(make_response(),
+                             rates={"dse.evaluated": 12.5})
+        assert "points/sec=12.50" in frame
+        assert "cache-hit-rate=75.0%" in frame
+        assert "evaluated=40" in frame
+
+    def test_frame_phase_table(self):
+        frame = format_frame(make_response())
+        assert "phase" in frame and "p95" in frame
+        assert "evaluate" in frame
+        assert "50.0ms" in frame   # evaluate p50
+        assert "1.20s" in frame    # job p50
+        assert "-" in frame        # job p99 is absent
+
+    def test_draining_state_shown(self):
+        frame = format_frame(make_response(draining=True))
+        assert "draining" in frame
+
+
+class FakeClient:
+    def __init__(self, responses):
+        self.responses = list(responses)
+
+    def metrics(self):
+        outcome = self.responses.pop(0)
+        if isinstance(outcome, Exception):
+            raise outcome
+        return outcome
+
+
+class TestLoop:
+    def test_once_prints_single_frame(self):
+        frames = []
+        rc = run_top(FakeClient([make_response()]), once=True,
+                     emit=frames.append)
+        assert rc == 0
+        assert len(frames) == 1
+        assert "daemon pid 4321" in frames[0]
+        assert "\x1b" not in frames[0]  # no ANSI clear in once mode
+
+    def test_loop_computes_rates_between_frames(self):
+        frames = []
+        second = make_response()
+        second["metrics"]["counters"]["dse.evaluated"] = 60
+        clock = iter([0.0, 2.0])
+
+        def sleep(_interval):
+            if len(frames) >= 2:
+                raise KeyboardInterrupt
+
+        rc = run_top(FakeClient([make_response(), second,
+                                 make_response()]),
+                     interval=0.01, emit=frames.append,
+                     clock=lambda: next(clock), sleep=sleep)
+        assert rc == 0
+        assert len(frames) == 2
+        assert "points/sec=10.00" in frames[1]  # (60-40)/2s
+        assert frames[1].startswith("\x1b[2J\x1b[H")
+
+    def test_unreachable_daemon_exits_nonzero(self):
+        frames = []
+        rc = run_top(FakeClient([ServiceError("gone")]), once=True,
+                     emit=frames.append)
+        assert rc == 1
+        assert "gone" in frames[0]
