@@ -182,6 +182,15 @@ def _build_parser() -> argparse.ArgumentParser:
     synthesize.add_argument("-R", "--reduction-factor",
                             type=_positive_float, default=6.0)
     synthesize.add_argument("--seed", type=int, default=0)
+    synth_mode = synthesize.add_mutually_exclusive_group()
+    synth_mode.add_argument(
+        "--vector", action="store_true",
+        help="synthesize with the columnar batch kernels "
+             "(statistically equivalent draws, see "
+             "docs/performance.md)")
+    synth_mode.add_argument(
+        "--scalar", action="store_true",
+        help="synthesize with the scalar generator (the default)")
     synthesize.add_argument("--simulate", action="store_true",
                             help="also simulate the synthetic trace")
 
@@ -283,6 +292,17 @@ def _build_parser() -> argparse.ArgumentParser:
         help="instead of one sweep, time serial vs --jobs parallel vs "
              "warm-cache re-run and write the machine-readable "
              "benchmark to this path")
+    dse_mode = dse.add_mutually_exclusive_group()
+    dse_mode.add_argument(
+        "--vector", action="store_true",
+        help="evaluate through the columnar batch kernels (shared "
+             "sampling tables published to workers; statistically "
+             "equivalent draws, cached under distinct keys — see "
+             "docs/performance.md)")
+    dse_mode.add_argument(
+        "--scalar", action="store_true",
+        help="evaluate through the scalar object path (the default; "
+             "named so scripts can say what they mean)")
 
     bench = sub.add_parser(
         "bench", parents=[obs_parent],
@@ -360,6 +380,12 @@ def _build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--no-minimize", action="store_true",
                       help="file failing cases unshrunk (faster triage "
                            "of a broad breakage)")
+    fuzz.add_argument("--vector", action="store_true",
+                      help="add the vector layer: the columnar batch "
+                           "generator's draws must pass the same "
+                           "statistical acceptance as the scalar "
+                           "generator's (failures filed as kind "
+                           "'vector')")
     fuzz.add_argument(
         "--chaos", default=None, metavar="SPEC",
         help="deterministic fault-injection spec (same grammar as "
@@ -601,19 +627,34 @@ def _cmd_synthesize(args: argparse.Namespace) -> int:
     from repro.core.synthesis import generate_synthetic_trace
 
     profile = load_profile(args.profile)
-    synthetic = generate_synthetic_trace(
-        profile, args.reduction_factor, seed=args.seed)
-    summary = synthetic.summary()
+    columnar = None
+    if args.vector:
+        from repro.core.columnar import generate_columnar_trace
+
+        columnar = generate_columnar_trace(
+            profile, args.reduction_factor, seed=args.seed)
+        summary = columnar.summary()
+    else:
+        synthetic = generate_synthetic_trace(
+            profile, args.reduction_factor, seed=args.seed)
+        summary = synthetic.summary()
+    mode = " [vector]" if args.vector else ""
     print(f"synthetic trace: {summary['instructions']:,} instructions "
-          f"(R = {args.reduction_factor:g})")
+          f"(R = {args.reduction_factor:g}){mode}")
     for key in ("load_fraction", "branch_fraction", "il1_miss_rate",
                 "dl1_miss_rate", "misprediction_rate"):
         print(f"  {key}: {summary[key]:.4f}")
     if args.simulate:
-        from repro.core.framework import simulate_synthetic_trace
+        if columnar is not None:
+            from repro.core.framework import simulate_columnar_trace
 
-        result, power = simulate_synthetic_trace(synthetic,
-                                                 profile.config)
+            result, power = simulate_columnar_trace(columnar,
+                                                    profile.config)
+        else:
+            from repro.core.framework import simulate_synthetic_trace
+
+            result, power = simulate_synthetic_trace(synthetic,
+                                                     profile.config)
         print(f"  simulated: IPC {result.ipc:.3f}  "
               f"EPC {power.total:.1f} W")
     return 0
@@ -777,7 +818,7 @@ def _cmd_dse(args: argparse.Namespace) -> int:
         supervisor_policy=SupervisorPolicy(
             max_point_retries=args.max_point_retries),
         quarantine_path=args.quarantine,
-        log=log, **study_kwargs)
+        log=log, vector=args.vector, **study_kwargs)
     print(study.render(margin=args.verify_margin))
     if study.sweep.interrupted:
         obs.warn(
@@ -836,6 +877,13 @@ def _cmd_bench(args: argparse.Namespace) -> int:
           f"{speedups['synthesis_low_r']:.2f}x (low R), "
           f"pipeline {speedups['pipeline']:.2f}x; "
           f"draw-stable: {payload['draw_stable']}")
+    vector = payload["phases"]["vector"]
+    print(f"columnar: end-to-end {speedups['vector']:.2f}x, "
+          f"synthesis-only {speedups['vector_synthesis']:.2f}x; "
+          f"IPC scalar {vector['ipc_scalar']:.3f} vs vector "
+          f"{vector['ipc_vector']:.3f} "
+          f"({vector['ipc_relative_error'] * 100:.1f}% apart, "
+          f"different draw streams)")
     print(f"benchmark written to {args.output}")
 
     report = obs.error if args.check else obs.warn
@@ -890,6 +938,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         corpus_dir=args.corpus,
         max_trials=args.max_shrink_trials,
         minimize=not args.no_minimize,
+        vector=args.vector,
     )
     kwargs = {}
     if chaos is not _NO_CHAOS:

@@ -95,6 +95,20 @@ def simulate_synthetic_trace(
     return result, power
 
 
+def simulate_columnar_trace(
+    columnar, config: MachineConfig
+) -> Tuple[SimulationResult, PowerBreakdown]:
+    """Synthetic-trace simulation from a columnar trace: the pipeline's
+    vectorized fast path consuming the trace's numpy columns directly
+    (no per-instruction FetchSlot objects)."""
+    from repro.cpu.source import ColumnarSource
+
+    with trace_span("simulate", bench=columnar.name, mode="synthetic"):
+        result = simulate(config, ColumnarSource(columnar, config))
+        power = WattchPowerModel(config).energy_per_cycle(result)
+    return result, power
+
+
 def run_statistical_simulation(
     trace: Trace,
     config: MachineConfig,
@@ -106,6 +120,7 @@ def run_statistical_simulation(
     profile: Optional[StatisticalProfile] = None,
     warmup_trace: Optional[Trace] = None,
     include_anti_dependencies: bool = False,
+    vector: bool = False,
 ) -> StatisticalSimulationReport:
     """Full statistical simulation of *trace* on *config*.
 
@@ -114,6 +129,12 @@ def run_statistical_simulation(
     width and functional units do not change the profile; caches,
     predictor and IFQ size do — re-profile for those, as the paper notes
     in section 4.4).
+
+    *vector* routes synthesis and simulation through the columnar batch
+    kernels (:mod:`repro.core.columnar`): same distributions and same
+    pipeline semantics, different (statistically equivalent) draw
+    sequence — see docs/performance.md.  The report's
+    ``synthetic_trace`` is materialized from the columns either way.
     """
     if reduction_factor <= 0:
         raise SynthesisError(
@@ -126,10 +147,19 @@ def run_statistical_simulation(
                                 branch_mode=branch_mode,
                                 perfect_caches=perfect_caches,
                                 warmup_trace=warmup_trace)
-    synthetic = generate_synthetic_trace(
-        profile, reduction_factor, seed=seed,
-        include_anti_dependencies=include_anti_dependencies)
-    result, power = simulate_synthetic_trace(synthetic, config)
+    if vector:
+        from repro.core.columnar import generate_columnar_trace
+
+        columnar = generate_columnar_trace(
+            profile, reduction_factor, seed=seed,
+            include_anti_dependencies=include_anti_dependencies)
+        result, power = simulate_columnar_trace(columnar, config)
+        synthetic = columnar.to_synthetic_trace()
+    else:
+        synthetic = generate_synthetic_trace(
+            profile, reduction_factor, seed=seed,
+            include_anti_dependencies=include_anti_dependencies)
+        result, power = simulate_synthetic_trace(synthetic, config)
     return StatisticalSimulationReport(
         profile=profile,
         synthetic_trace=synthetic,

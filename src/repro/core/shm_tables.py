@@ -1,0 +1,265 @@
+"""Shared-memory publication of compiled columnar sampling tables.
+
+A DSE sweep evaluates hundreds of design points against one profile.
+The per-context sampling tables (:class:`repro.core.columnar
+.ColumnarTables`) depend only on the profile's SFG, yet every worker
+process used to rebuild them from scratch after unpickling its copy of
+the profile.  This module serializes the compiled tables into one
+self-describing binary blob, publishes it as a
+``multiprocessing.shared_memory`` segment (with a plain mmap'd file
+under the run directory as fallback when POSIX shared memory is
+unavailable), and lets workers attach the arrays zero-copy with
+``np.frombuffer`` views straight into the segment.
+
+The payload is self-describing: it carries the context list and edge
+tables alongside the raw array bytes, so the attaching process maps
+budgets onto table rows through the *payload's* context order — worker-
+side dict ordering never matters.
+
+Hygiene contract (tested by ``tests/test_shm_tables.py``):
+
+* the publisher unlinks its segment on normal exit, on SIGTERM and in
+  the sweep engine's ``finally`` paths;
+* attachers map the segment read-only (``/dev/shm/<name>`` directly on
+  Linux, so no per-attacher ``resource_tracker`` registration exists
+  to unlink the publisher's segment or unbalance a fork-shared
+  tracker; elsewhere they attach via ``SharedMemory`` and immediately
+  deregister);
+* a ``kill -9`` of the whole sweep leaves cleanup to the publisher's
+  resource tracker — a separate process that survives the kill and
+  unlinks every registered segment — so ``/dev/shm`` never accumulates
+  orphans.
+"""
+
+from __future__ import annotations
+
+import atexit
+import pickle
+import struct
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from repro.core.columnar import ColumnarTables
+
+_MAGIC = b"RPCT0001"
+_HEADER = struct.Struct("<8sQ")
+
+
+def serialize_tables(tables: ColumnarTables) -> bytes:
+    """Pack *tables* into one self-describing binary blob."""
+    arrays = tables.arrays()
+    entries: List[tuple] = []
+    offset = 0
+    chunks: List[bytes] = []
+    for name, array in arrays.items():
+        array = np.ascontiguousarray(array)
+        # 8-byte alignment keeps every dtype's frombuffer view legal.
+        pad = (-offset) % 8
+        if pad:
+            chunks.append(b"\0" * pad)
+            offset += pad
+        data = array.tobytes()
+        entries.append((name, array.dtype.str, array.shape, offset,
+                        len(data)))
+        chunks.append(data)
+        offset += len(data)
+    header = pickle.dumps({
+        "meta": {
+            "order": tables.order,
+            "include_anti": tables.include_anti,
+            "contexts": tables.contexts,
+            "edges": tables.edges,
+        },
+        "arrays": entries,
+    }, protocol=pickle.HIGHEST_PROTOCOL)
+    return b"".join([_HEADER.pack(_MAGIC, len(header)), header] + chunks)
+
+
+def deserialize_tables(buf) -> ColumnarTables:
+    """Rebuild :class:`ColumnarTables` from a blob produced by
+    :func:`serialize_tables`.
+
+    *buf* may be a ``bytes`` object or a ``memoryview`` over a shared
+    segment; array attributes become read-only views into it (zero
+    copy), so the segment must stay mapped while the tables are in use
+    — :class:`AttachedTables` guarantees that by holding the mapping.
+    """
+    view = memoryview(buf)
+    magic, header_len = _HEADER.unpack_from(view, 0)
+    if magic != _MAGIC:
+        raise ValueError(
+            f"not a columnar tables blob (magic {magic!r})")
+    header = pickle.loads(view[_HEADER.size:_HEADER.size + header_len])
+    data_start = _HEADER.size + header_len
+    tables = ColumnarTables()
+    meta = header["meta"]
+    tables.order = meta["order"]
+    tables.include_anti = meta["include_anti"]
+    tables.contexts = meta["contexts"]
+    tables.ctx_index = {context: cid
+                       for cid, context in enumerate(meta["contexts"])}
+    tables.edges = meta["edges"]
+    for name, dtype, shape, offset, nbytes in header["arrays"]:
+        start = data_start + offset
+        array = np.frombuffer(view[start:start + nbytes],
+                              dtype=np.dtype(dtype)).reshape(shape)
+        setattr(tables, name, array)
+    return tables
+
+
+class PublishedTables:
+    """Publisher-side handle for one shared segment (or fallback file).
+
+    The descriptor (:attr:`descriptor`) is what travels to workers via
+    pool initargs; :meth:`unlink` removes the segment and is idempotent
+    — the engine calls it from ``finally``, ``atexit`` and its SIGTERM
+    hook, whichever fires first wins.
+    """
+
+    def __init__(self, kind: str, name: str, size: int,
+                 shm: Any = None) -> None:
+        self.kind = kind
+        self.name = name
+        self.size = size
+        self._shm = shm
+        self._unlinked = False
+
+    @property
+    def descriptor(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "name": self.name, "size": self.size}
+
+    def unlink(self) -> None:
+        if self._unlinked:
+            return
+        self._unlinked = True
+        if self._shm is not None:
+            try:
+                self._shm.close()
+                self._shm.unlink()
+            except (FileNotFoundError, OSError):
+                pass
+        elif self.kind == "file":
+            import os
+
+            try:
+                os.unlink(self.name)
+            except OSError:
+                pass
+
+
+def publish_tables(tables: ColumnarTables,
+                   fallback_dir: Optional[str] = None) -> PublishedTables:
+    """Publish *tables* for cross-process attachment.
+
+    Tries POSIX shared memory first; when that fails (no /dev/shm,
+    size limits) and *fallback_dir* is given, writes an mmap-able file
+    there instead.
+    """
+    blob = serialize_tables(tables)
+    try:
+        from multiprocessing import shared_memory
+
+        shm = shared_memory.SharedMemory(create=True, size=len(blob))
+        shm.buf[:len(blob)] = blob
+        published = PublishedTables("shm", shm.name, len(blob), shm=shm)
+    except OSError:
+        if fallback_dir is None:
+            raise
+        import os
+
+        os.makedirs(fallback_dir, exist_ok=True)
+        path = os.path.join(fallback_dir, "columnar_tables.bin")
+        with open(path, "wb") as handle:
+            handle.write(blob)
+        published = PublishedTables("file", path, len(blob))
+    atexit.register(published.unlink)
+    return published
+
+
+class AttachedTables:
+    """Worker-side handle: the deserialized tables plus the live
+    mapping backing their zero-copy array views."""
+
+    def __init__(self, tables: ColumnarTables, mapping: Any) -> None:
+        self.tables = tables
+        self._mapping = mapping
+
+    def close(self) -> None:
+        tables, self.tables = self.tables, None
+        if tables is not None:
+            # Drop the array views before the buffer: an exported
+            # memoryview keeps SharedMemory.close() from releasing.
+            for name in list(tables.arrays()):
+                setattr(tables, name, None)
+        mapping, self._mapping = self._mapping, None
+        if mapping is not None:
+            try:
+                mapping.close()
+            except (BufferError, OSError):
+                pass
+
+
+#: Worker-side attachments kept alive for the process lifetime (the
+#: adopted tables hold views into the mapping).
+_ATTACHED: List[AttachedTables] = []
+
+
+def attach_tables(descriptor: Dict[str, Any]) -> ColumnarTables:
+    """Attach a published segment and return its tables.
+
+    The mapping is cached for the process lifetime and closed at
+    interpreter exit; the segment itself is never unlinked here — that
+    is the publisher's job.
+    """
+    kind = descriptor["kind"]
+    if kind == "shm":
+        import mmap
+        import os
+
+        # POSIX shared memory is a file under /dev/shm on Linux: map it
+        # directly instead of via SharedMemory(name=...), whose
+        # constructor registers the segment with this process's
+        # resource tracker (under fork that tracker is *shared* with
+        # the publisher, and the attach/unregister churn unbalances its
+        # registration set).  A plain read-only mmap leaves the
+        # publisher's registration as the sole cleanup record.
+        path = "/dev/shm/" + descriptor["name"].lstrip("/")
+        if os.path.exists(path):
+            with open(path, "rb") as handle:
+                mapping = mmap.mmap(handle.fileno(), 0,
+                                    access=mmap.ACCESS_READ)
+            tables = deserialize_tables(
+                memoryview(mapping)[:descriptor["size"]])
+            attachment = AttachedTables(tables, mapping)
+        else:
+            from multiprocessing import shared_memory, resource_tracker
+
+            shm = shared_memory.SharedMemory(name=descriptor["name"])
+            # Deregister so this worker's tracker does not unlink the
+            # publisher's segment when the worker exits.
+            try:
+                resource_tracker.unregister(shm._name, "shared_memory")
+            except Exception:
+                pass
+            tables = deserialize_tables(shm.buf[:descriptor["size"]])
+            attachment = AttachedTables(tables, shm)
+    elif kind == "file":
+        import mmap
+
+        with open(descriptor["name"], "rb") as handle:
+            mapping = mmap.mmap(handle.fileno(), 0,
+                                access=mmap.ACCESS_READ)
+        tables = deserialize_tables(memoryview(mapping))
+        attachment = AttachedTables(tables, mapping)
+    else:
+        raise ValueError(f"unknown shared-tables kind {kind!r}")
+    if not _ATTACHED:
+        atexit.register(_close_attachments)
+    _ATTACHED.append(attachment)
+    return tables
+
+
+def _close_attachments() -> None:
+    while _ATTACHED:
+        _ATTACHED.pop().close()

@@ -15,6 +15,8 @@ from __future__ import annotations
 
 from typing import List, Optional, Protocol, Sequence, Tuple
 
+import numpy as np
+
 from repro.config import MachineConfig
 from repro.isa.iclass import IClass, execution_latency, functional_unit
 from repro.frontend.trace import Trace
@@ -261,6 +263,166 @@ class ExecutionDrivenSource:
         if (slot.is_branch and slot.raw is not None
                 and not self.perfect_branch_prediction):
             self.predictor.train(slot.raw)
+
+
+#: Per-IClass lookup rows (indexed by the IClass integer code) for the
+#: vectorized slot computation and for columnar wrong-path fillers.
+_BASE_LAT = np.asarray([execution_latency(c) for c in IClass],
+                       dtype=np.int64)
+_FU_IDX = [int(functional_unit(c)) for c in IClass]
+_CLASS_IS_MEM = [c in (IClass.LOAD, IClass.STORE) for c in IClass]
+_CLASS_IS_BRANCH = [c in (IClass.INT_COND_BRANCH, IClass.FP_COND_BRANCH,
+                          IClass.INDIRECT_BRANCH) for c in IClass]
+
+#: Control-byte bits consumed by the pipeline's columnar fetch stage.
+CTRL_TAKEN = 1
+CTRL_MISPREDICT = 2
+CTRL_REDIRECT = 4
+CTRL_STALL = 8
+
+#: Columnar row tuples for wrong-path fillers, indexed by IClass code:
+#: class base latency, no dependencies, no control bits — the columnar
+#: equivalent of the shared ``_filler_slot`` instances.
+_FILLER_ROWS = [
+    (int(execution_latency(c)), int(functional_unit(c)), (),
+     c is IClass.LOAD, c is IClass.STORE,
+     c in (IClass.LOAD, IClass.STORE), 0)
+    for c in IClass
+]
+
+
+class ColumnarSource:
+    """Batch twin of :class:`PreannotatedSource`.
+
+    Resolves a :class:`repro.core.columnar.ColumnarTrace` into parallel
+    per-instruction columns — execution latency, fetch stall,
+    functional unit, memory/load/store flags, dependency tuples and a
+    packed branch/stall control byte — with whole-trace numpy
+    expressions instead of one ``FetchSlot`` construction per
+    instruction.  ``SuperscalarPipeline.run`` detects this source and
+    switches to its columnar fast path, which walks these columns
+    directly; the generic :class:`InstructionSource` protocol methods
+    below materialize classic ``FetchSlot`` objects lazily, so the
+    source also works (more slowly) with any configuration the fast
+    path does not cover (e.g. in-order issue).
+
+    Counters the scalar fetch stage accumulates per instruction are
+    precomputed here as column sums: every correct-path instruction is
+    fetched, dispatched and committed exactly once (wrong-path fillers
+    never commit and real instructions are never squashed — everything
+    younger than a mispredicted branch is filler by construction), so
+    branch/locality tallies do not depend on pipeline timing.
+    """
+
+    def __init__(self, trace, config: MachineConfig) -> None:
+        self.trace = trace
+        self.config = config
+        iclass = trace.iclass.astype(np.int64)
+        n = iclass.size
+        is_load = iclass == int(IClass.LOAD)
+        is_store = iclass == int(IClass.STORE)
+        is_branch = np.asarray(_CLASS_IS_BRANCH)[iclass]
+        memory_latency = config.memory_latency
+        l2_latency = config.l2.hit_latency
+
+        # to_fetch_slots(), columnwise: load latency from the deepest
+        # missing level plus the D-TLB penalty; instruction-side misses
+        # as fetch stalls plus the I-TLB penalty.
+        lat = np.where(
+            is_load,
+            np.where(trace.l2d, memory_latency,
+                     np.where(trace.dl1, l2_latency,
+                              config.dl1.hit_latency))
+            + trace.dtlb * config.dtlb.miss_latency,
+            _BASE_LAT[iclass])
+        stall = np.where(trace.l2i, memory_latency,
+                         np.where(trace.il1, l2_latency, 0)) \
+            + trace.itlb * config.itlb.miss_latency
+
+        ctrl = (trace.taken * CTRL_TAKEN
+                + (is_branch & (trace.outcome == 2)) * CTRL_MISPREDICT
+                + (is_branch & (trace.outcome == 1)) * CTRL_REDIRECT
+                + (stall > 0) * CTRL_STALL)
+
+        deps: List[Tuple[int, ...]] = [()] * n
+        dep_off = trace.dep_off.tolist()
+        dep_val = trace.dep_val.tolist()
+        for i in np.flatnonzero(np.diff(trace.dep_off)).tolist():
+            deps[i] = tuple(dep_val[dep_off[i]:dep_off[i + 1]])
+
+        # One prebuilt row tuple per instruction: everything the
+        # pipeline's columnar loop needs lands on the inflight record
+        # with a single list read and a single attribute store (plain
+        # lists and tuples — numpy scalar indexing inside the cycle
+        # loop would dominate it).
+        self.ic: List[int] = iclass.tolist()
+        self.stall: List[int] = stall.tolist()
+        self.rows: List[tuple] = list(zip(
+            lat.tolist(),
+            np.asarray(_FU_IDX)[iclass].tolist(),
+            deps,
+            is_load.tolist(),
+            is_store.tolist(),
+            (is_load | is_store).tolist(),
+            ctrl.tolist(),
+        ))
+
+        # Timing-independent fetch/dispatch tallies (see class docs).
+        self.branches = int(is_branch.sum())
+        self.taken_branches = int(trace.taken.sum())
+        branch_outcomes = trace.outcome[is_branch]
+        self.mispredictions = int((branch_outcomes == 2).sum())
+        self.redirections = int((branch_outcomes == 1).sum())
+        self.act_l2 = int(trace.il1.sum()) + int(trace.dl1.sum())
+        self.act_dl1 = int((is_load | is_store).sum())
+        # Fetch classifies each branch once and dispatch updates the
+        # predictor model once per correct-path branch.
+        self.act_bpred = 2 * self.branches
+        self._pos = 0
+
+    def __len__(self) -> int:
+        return len(self.ic)
+
+    # -- generic InstructionSource protocol (correctness fallback) ----
+
+    def _slot_at(self, index: int) -> FetchSlot:
+        trace = self.trace
+        iclass = IClass(self.ic[index])
+        is_branch = iclass in (IClass.INT_COND_BRANCH,
+                               IClass.FP_COND_BRANCH,
+                               IClass.INDIRECT_BRANCH)
+        row = self.rows[index]
+        return FetchSlot(
+            iclass=iclass,
+            exec_latency=row[0],
+            fetch_stall=self.stall[index],
+            dep_distances=row[2],
+            taken=bool(trace.taken[index]),
+            outcome=(BranchOutcome(int(trace.outcome[index]))
+                     if is_branch else None),
+            il1_miss=bool(trace.il1[index]),
+            l2i_miss=bool(trace.l2i[index]),
+            dl1_miss=bool(trace.dl1[index]),
+            l2d_miss=bool(trace.l2d[index]),
+            itlb_miss=bool(trace.itlb[index]),
+            dtlb_miss=bool(trace.dtlb[index]),
+        )
+
+    def fetch(self) -> Optional[FetchSlot]:
+        if self._pos >= len(self.ic):
+            return None
+        slot = self._slot_at(self._pos)
+        self._pos += 1
+        return slot
+
+    def peek_filler(self, offset: int) -> Optional[FetchSlot]:
+        if not self.ic:
+            return None
+        index = (self._pos + offset) % len(self.ic)
+        return _filler_slot(IClass(self.ic[index]))
+
+    def on_dispatch(self, slot: FetchSlot) -> None:
+        return None
 
 
 class PreannotatedSource:

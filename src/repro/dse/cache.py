@@ -60,8 +60,15 @@ INDEX_FORMAT = 1
 
 
 def result_key(profile_hash: str, config_hash: str, seed: int,
-               reduction_factor: float) -> str:
-    """The content address of one evaluation."""
+               reduction_factor: float, mode: str = "scalar") -> str:
+    """The content address of one evaluation.
+
+    *mode* distinguishes draw-sequence families: the columnar batch
+    kernels are statistically equivalent to the scalar generator but
+    use a different RNG stream, so their metrics must never be served
+    from a scalar entry (or vice versa).  ``"scalar"`` is omitted from
+    the hashed payload so every pre-existing cache entry keeps its key.
+    """
     payload = {
         "format": CACHE_FORMAT,
         "profile": profile_hash,
@@ -69,6 +76,8 @@ def result_key(profile_hash: str, config_hash: str, seed: int,
         "seed": seed,
         "reduction_factor": reduction_factor,
     }
+    if mode != "scalar":
+        payload["mode"] = mode
     return hashlib.sha256(
         canonical_json(payload).encode("utf-8")).hexdigest()
 

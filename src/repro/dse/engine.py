@@ -72,23 +72,41 @@ def derive_point_seed(experiment: str, benchmark: Optional[str],
 
 
 def evaluate_metrics(profile, config: MachineConfig, seed: int,
-                     reduction_factor: float) -> Dict[str, float]:
+                     reduction_factor: float,
+                     vector: bool = False) -> Dict[str, float]:
     """One design-point evaluation: synthesize with *seed*, simulate,
     return the paper's metrics.  This single function feeds the serial
     path, the worker processes and the speedup experiment, so all of
-    them are numerically identical by construction."""
-    from repro.core.framework import simulate_synthetic_trace
-    from repro.core.synthesis import generate_synthetic_trace
+    them are numerically identical by construction.
+
+    *vector* routes the evaluation through the columnar batch kernels —
+    a statistically equivalent but different draw sequence, so vector
+    and scalar metrics are cached under distinct keys (see
+    :func:`repro.dse.cache.result_key`).
+    """
     from repro.power.wattch import energy_delay_product
 
-    synthetic = generate_synthetic_trace(profile, reduction_factor,
-                                         seed=seed)
-    result, power = simulate_synthetic_trace(synthetic, config)
+    if vector:
+        from repro.core.columnar import generate_columnar_trace
+        from repro.core.framework import simulate_columnar_trace
+
+        columnar = generate_columnar_trace(profile, reduction_factor,
+                                           seed=seed)
+        result, power = simulate_columnar_trace(columnar, config)
+        count = len(columnar.iclass)
+    else:
+        from repro.core.framework import simulate_synthetic_trace
+        from repro.core.synthesis import generate_synthetic_trace
+
+        synthetic = generate_synthetic_trace(profile, reduction_factor,
+                                             seed=seed)
+        result, power = simulate_synthetic_trace(synthetic, config)
+        count = len(synthetic)
     return {
         "ipc": result.ipc,
         "epc": power.total,
         "edp": energy_delay_product(power.total, result.ipc),
-        "synthetic_instructions": len(synthetic),
+        "synthetic_instructions": count,
     }
 
 
@@ -107,7 +125,8 @@ def _worker_init(profile_payload: Dict,
                  chaos_spec: Optional[str] = None,
                  lease_dir: Optional[str] = None,
                  telemetry_payload: Optional[Dict] = None,
-                 flight_dir: Optional[str] = None) -> None:
+                 flight_dir: Optional[str] = None,
+                 tables_descriptor: Optional[Dict] = None) -> None:
     global _WORKER_PROFILE, _WORKER_FAULT_PLAN, _WORKER_LEASE_DIR
     from repro.core.serialization import profile_from_dict
     from repro.core.synthesis import prepare_recipes
@@ -130,6 +149,23 @@ def _worker_init(profile_payload: Dict,
     _WORKER_FAULT_PLAN = (ChaosPlan.parse(chaos_spec) if chaos_spec
                           else plan_from_env())
     _WORKER_LEASE_DIR = lease_dir
+    if tables_descriptor is not None:
+        # Vector sweep: adopt the parent's published columnar tables
+        # (zero-copy views into the shared segment) instead of
+        # recompiling them from the unpickled profile in every worker.
+        from repro.core.columnar import adopt_columnar_tables
+        from repro.core.shm_tables import attach_tables
+
+        try:
+            tables = attach_tables(tables_descriptor)
+        except Exception:
+            # A vanished segment (publisher died mid-init) degrades to
+            # the local build inside the first evaluation — correctness
+            # never depends on the shared copy.
+            pass
+        else:
+            adopt_columnar_tables(_WORKER_PROFILE.sfg, tables)
+            get_registry().counter("dse.shared_tables_attached").inc()
     # Warm every context's sampler tables once per worker so each of the
     # worker's (point, seed) evaluations starts with compiled recipes
     # instead of rebuilding them on the first synthesis call.
@@ -143,10 +179,17 @@ def _run_task(task: Dict[str, Any], profile, policy: RunnerPolicy,
     backoff, and containment of any exception into a structured
     failure record."""
     from repro.core.serialization import config_from_dict
-    from repro.core.synthesis import tables_cached
 
+    vector = bool(task.get("vector"))
     config = config_from_dict(task["config"])
-    recipe_reuse = tables_cached(profile.sfg)
+    if vector:
+        from repro.core.columnar import columnar_tables_cached
+
+        recipe_reuse = columnar_tables_cached(profile.sfg)
+    else:
+        from repro.core.synthesis import tables_cached
+
+        recipe_reuse = tables_cached(profile.sfg)
     attempt = 0
     started = time.perf_counter()
     while True:
@@ -158,7 +201,8 @@ def _run_task(task: Dict[str, Any], profile, policy: RunnerPolicy,
             metrics = call_with_timeout(
                 lambda: evaluate_metrics(profile, config,
                                          task["derived_seed"],
-                                         task["reduction_factor"]),
+                                         task["reduction_factor"],
+                                         vector=vector),
                 policy.timeout, task["task_id"])
         except Exception as exc:  # noqa: BLE001 — containment
             if is_retryable(exc) and attempt <= policy.max_retries:
@@ -344,11 +388,13 @@ class SweepEngine:
         supervisor_policy: Optional[SupervisorPolicy] = None,
         quarantine_path: Optional[Union[str, Any]] = None,
         log=None,
+        vector: bool = False,
     ) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
         self.profile = profile
         self.jobs = jobs
+        self.vector = vector
         self.cache = cache
         self.policy = policy or RunnerPolicy()
         if fault_plan is _ENV_PLAN:
@@ -382,8 +428,11 @@ class SweepEngine:
                 self.experiment, self.benchmark, point.config_hash,
                 seed),
             "reduction_factor": reduction_factor,
+            "vector": self.vector,
             "key": result_key(self.profile_hash, point.config_hash,
-                              seed, reduction_factor),
+                              seed, reduction_factor,
+                              mode="vector" if self.vector
+                              else "scalar"),
         }
 
     # -- execution paths -----------------------------------------------
@@ -396,8 +445,15 @@ class SweepEngine:
 
         # Same warm-start the pool workers get from _worker_init: build
         # the sampler tables once, before the first evaluation.
-        prepare_recipes(self.profile)
-        recipe_reuse = tables_cached(self.profile.sfg)
+        if self.vector:
+            from repro.core.columnar import (columnar_tables_cached,
+                                             columnar_tables_for)
+
+            columnar_tables_for(self.profile.sfg)
+            recipe_reuse = columnar_tables_cached(self.profile.sfg)
+        else:
+            prepare_recipes(self.profile)
+            recipe_reuse = tables_cached(self.profile.sfg)
         runner = TaskRunner(policy=self.policy,
                             fault_plan=self.fault_plan,
                             raise_on_total_failure=False,
@@ -415,7 +471,8 @@ class SweepEngine:
             task = task_by_unit[unit]
             return evaluate_metrics(
                 self.profile, config_from_dict(task["config"]),
-                task["derived_seed"], task["reduction_factor"])
+                task["derived_seed"], task["reduction_factor"],
+                vector=bool(task.get("vector")))
 
         report = runner.run(units, fn)
         outcomes = []
@@ -468,13 +525,45 @@ class SweepEngine:
         flight_dir = self._flight_dir()
         with tempfile.TemporaryDirectory(
                 prefix="repro-leases-") as lease_dir:
+            published = None
+            descriptor = None
+            restore_sigterm = None
+            if self.vector:
+                # Publish the compiled columnar tables once; every
+                # worker attaches the shared segment in _worker_init
+                # instead of recompiling from its unpickled profile.
+                from repro.core.columnar import columnar_tables_for
+                from repro.core.shm_tables import publish_tables
+
+                published = publish_tables(
+                    columnar_tables_for(self.profile.sfg),
+                    fallback_dir=lease_dir)
+                descriptor = published.descriptor
+                # Hygiene: a SIGTERM'd sweep unlinks its segment before
+                # dying (atexit alone is skipped when the default
+                # handler terminates the process).
+                import signal
+
+                def _on_term(signum, frame):
+                    published.unlink()
+                    signal.signal(signal.SIGTERM, previous)
+                    signal.raise_signal(signal.SIGTERM)
+
+                try:
+                    previous = signal.signal(signal.SIGTERM, _on_term)
+                except ValueError:  # not the main thread
+                    previous = None
+                else:
+                    def restore_sigterm() -> None:
+                        signal.signal(signal.SIGTERM, previous)
 
             def pool_factory() -> ProcessPoolExecutor:
                 return ProcessPoolExecutor(
                     max_workers=self.jobs,
                     initializer=_worker_init,
                     initargs=(payload, chaos_spec, lease_dir,
-                              telemetry_payload, flight_dir))
+                              telemetry_payload, flight_dir,
+                              descriptor))
 
             supervisor = PoolSupervisor(
                 pool_factory=pool_factory,
@@ -486,7 +575,13 @@ class SweepEngine:
                 lease_dir=lease_dir,
                 flight_dir=flight_dir,
                 log=self.log)
-            return supervisor.run(tasks)
+            try:
+                return supervisor.run(tasks)
+            finally:
+                if published is not None:
+                    published.unlink()
+                if restore_sigterm is not None:
+                    restore_sigterm()
 
     # -- public API ----------------------------------------------------
 

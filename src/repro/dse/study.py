@@ -100,13 +100,16 @@ def run_study(
     supervisor_policy: Optional[SupervisorPolicy] = None,
     quarantine_path: Optional[str] = None,
     log=None,
+    vector: bool = False,
 ) -> StudyResult:
     """Run the full section 4.6 protocol for one benchmark.
 
     ``fault_plan`` (default: from the environment),
     ``supervisor_policy`` (crash/rebuild budgets) and
     ``quarantine_path`` (poison-point manifest) pass straight through
-    to the :class:`~repro.dse.engine.SweepEngine`.
+    to the :class:`~repro.dse.engine.SweepEngine`; ``vector`` routes
+    every sweep evaluation through the columnar batch kernels (cached
+    under distinct keys, shared tables published to pool workers).
     """
     from repro.core.framework import run_execution_driven
     from repro.power.wattch import energy_delay_product
@@ -119,7 +122,7 @@ def run_study(
                          experiment=spec.name, benchmark=benchmark,
                          supervisor_policy=supervisor_policy,
                          quarantine_path=quarantine_path,
-                         log=log)
+                         log=log, vector=vector)
     sweep = engine.evaluate(points, seeds=seeds or scale.seeds,
                             reduction_factor=scale.reduction_factor)
     study = StudyResult(benchmark=benchmark, spec=spec, sweep=sweep)

@@ -7,7 +7,12 @@ One fuzz *case* is evaluated in two layers:
    schedule) is a failure (:mod:`repro.fuzz.oracle`);
 2. **acceptance** — the paper's profile → reduce → synthesize loop runs
    on the same trace, and the synthetic statistics must converge to the
-   profile within scaled tolerances (:mod:`repro.fuzz.acceptance`).
+   profile within scaled tolerances (:mod:`repro.fuzz.acceptance`);
+3. **vector** (``--vector``) — the columnar batch generator
+   (:mod:`repro.core.columnar`) synthesizes from the same profile, and
+   its statistically-equivalent draw stream must converge to the
+   profile under the same tolerances — the differential guard between
+   the scalar oracle and the vectorized kernels.
 
 Failures are minimized (:mod:`repro.fuzz.minimize`) and written to the
 corpus (:mod:`repro.fuzz.corpus`).  Cases execute under the shared
@@ -61,6 +66,7 @@ _ENV_CHAOS = object()
 OK = "ok"
 DIFFERENTIAL = "differential"
 ACCEPTANCE = "acceptance"
+VECTOR = "vector"
 ERROR = "error"
 
 
@@ -76,6 +82,10 @@ class FuzzPolicy:
     max_trials: int = 200
     tolerances: ToleranceConfig = field(default_factory=ToleranceConfig)
     minimize: bool = True
+    #: Adds a third layer: the columnar batch generator's draws must
+    #: satisfy the same statistical acceptance against the profile as
+    #: the scalar generator's (``repro fuzz --vector``).
+    vector: bool = False
 
 
 @dataclass
@@ -132,10 +142,12 @@ class FuzzReport:
                    if verdict.status == status)
 
     def summary(self) -> str:
-        return (f"{len(self.verdicts)} cases: {self.count(OK)} ok, "
-                f"{self.count(DIFFERENTIAL)} differential, "
-                f"{self.count(ACCEPTANCE)} acceptance, "
-                f"{self.count(ERROR)} error")
+        parts = (f"{len(self.verdicts)} cases: {self.count(OK)} ok, "
+                 f"{self.count(DIFFERENTIAL)} differential, "
+                 f"{self.count(ACCEPTANCE)} acceptance, ")
+        if self.count(VECTOR):
+            parts += f"{self.count(VECTOR)} vector, "
+        return parts + f"{self.count(ERROR)} error"
 
     def stats_payload(self) -> Dict:
         """The deterministic JSON summary behind ``--stats-only``.
@@ -164,6 +176,7 @@ class FuzzReport:
                 OK: self.count(OK),
                 DIFFERENTIAL: self.count(DIFFERENTIAL),
                 ACCEPTANCE: self.count(ACCEPTANCE),
+                VECTOR: self.count(VECTOR),
                 ERROR: self.count(ERROR),
             },
             "acceptance_margins": margin_stats,
@@ -187,6 +200,30 @@ def _acceptance_fails(program, n_instructions: int, case: FuzzCase,
     profile = profile_trace(trace, config, order=case.order)
     synthetic = generate_synthetic_trace(profile, case.reduction_factor,
                                          seed=case.synthesis_seed)
+    return not acceptance_report(profile, synthetic, tolerances).passed
+
+
+def _vector_synthetic(profile, case: FuzzCase):
+    """The columnar generator's draws for *case*, materialized as a
+    scalar trace so the acceptance checks apply unchanged."""
+    from repro.core.columnar import generate_columnar_trace
+
+    columnar = generate_columnar_trace(profile, case.reduction_factor,
+                                       seed=case.synthesis_seed)
+    return columnar.to_synthetic_trace()
+
+
+def _vector_fails(program, n_instructions: int, case: FuzzCase,
+                  tolerances: ToleranceConfig) -> bool:
+    """Minimization predicate for vector failures: True while the
+    columnar draws stay out of tolerance on the shrunken program."""
+    from repro.core.profiler import profile_trace
+    from repro.frontend.functional import run_program
+
+    config = case.machine_config()
+    trace = run_program(program, n_instructions, warmup=case.warmup)
+    profile = profile_trace(trace, config, order=case.order)
+    synthetic = _vector_synthetic(profile, case)
     return not acceptance_report(profile, synthetic, tolerances).passed
 
 
@@ -248,6 +285,48 @@ def evaluate_case(case: FuzzCase, policy: FuzzPolicy,
         report = acceptance_report(profile, synthetic, policy.tolerances)
         margins = {check.name: check.margin for check in report.checks}
         if report.passed:
+            # ---- layer 3 (--vector): columnar draws vs profile ------
+            # The scalar draws just converged; the columnar generator's
+            # statistically-equivalent stream must converge to the same
+            # profile under the same tolerances.
+            if policy.vector:
+                vector_trace = _vector_synthetic(profile, case)
+                vector_report = acceptance_report(profile, vector_trace,
+                                                  policy.tolerances)
+                margins.update({f"vector.{check.name}": check.margin
+                                for check in vector_report.checks})
+                if not vector_report.passed:
+                    registry.counter("fuzz.vector").inc()
+                    obs.warn(
+                        f"{case.case_id}: columnar draws out of "
+                        f"tolerance ({vector_report.summary()})",
+                        event="fuzz.vector_failure", case=case.case_id)
+                    verdict = CaseVerdict(case_id=case.case_id,
+                                          status=VECTOR,
+                                          detail=vector_report.summary(),
+                                          margins=margins)
+                    if policy.minimize:
+                        minimized = minimize_program(
+                            program, case.trace_instructions,
+                            lambda prog, n: _vector_fails(
+                                prog, n, case, policy.tolerances),
+                            max_trials=max(1, policy.max_trials // 4))
+                        registry.counter("fuzz.minimized").inc()
+                        verdict.minimization = minimized.to_dict()
+                        program = minimized.program
+                    if policy.corpus_dir:
+                        entry = CorpusEntry(
+                            case_id=case.case_id, kind=VECTOR,
+                            case=case.to_dict(),
+                            report=vector_report.to_dict(),
+                            program=program_to_dict(program),
+                            minimization=verdict.minimization,
+                            chaos_spec=(chaos.to_spec()
+                                        if hasattr(chaos, "to_spec")
+                                        else None))
+                        verdict.corpus_path = save_entry(
+                            policy.corpus_dir, entry)
+                    return verdict
             registry.counter("fuzz.ok").inc()
             return CaseVerdict(case_id=case.case_id, status=OK,
                                margins=margins)
@@ -373,11 +452,14 @@ def replay_entry(path: str,
                             kind=entry.kind, passed=diff.identical,
                             detail=("" if diff.identical
                                     else diff.summary()))
-    if entry.kind == ACCEPTANCE:
+    if entry.kind in (ACCEPTANCE, VECTOR):
         trace = run_program(program, n_instructions, warmup=case.warmup)
         profile = profile_trace(trace, config, order=case.order)
-        synthetic = generate_synthetic_trace(
-            profile, case.reduction_factor, seed=case.synthesis_seed)
+        if entry.kind == VECTOR:
+            synthetic = _vector_synthetic(profile, case)
+        else:
+            synthetic = generate_synthetic_trace(
+                profile, case.reduction_factor, seed=case.synthesis_seed)
         report = acceptance_report(profile, synthetic, tolerances)
         return ReplayResult(path=path, case_id=entry.case_id,
                             kind=entry.kind, passed=report.passed,

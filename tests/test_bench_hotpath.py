@@ -36,7 +36,14 @@ def make_phase(speedup=2.0, units=1000):
 
 def make_payload(**speedups):
     speedups = {"profile": 1.2, "synthesis": 2.2,
-                "synthesis_low_r": 3.3, "pipeline": 1.5, **speedups}
+                "synthesis_low_r": 3.3, "pipeline": 1.5,
+                "vector": 1.9, "vector_synthesis": 4.5, **speedups}
+    phases = {name: make_phase(value)
+              for name, value in speedups.items()}
+    # Schema 2: the vector phase carries the scalar/columnar IPC
+    # agreement alongside its timing.
+    phases["vector"].update(ipc_scalar=2.0, ipc_vector=1.98,
+                            ipc_relative_error=0.01)
     return {
         "schema": BENCH_SCHEMA,
         "benchmark": "gzip",
@@ -44,8 +51,7 @@ def make_payload(**speedups):
         "quick": True,
         "platform": "test",
         "draw_stable": True,
-        "phases": {name: make_phase(value)
-                   for name, value in speedups.items()},
+        "phases": phases,
         "speedups": speedups,
         "phase_breakdown": {},
     }
@@ -72,6 +78,17 @@ class TestValidatePayload:
         payload = make_payload()
         payload["draw_stable"] = False
         assert any("draw_stable" in p for p in validate_payload(payload))
+
+    def test_missing_vector_phase_reported(self):
+        payload = make_payload()
+        del payload["phases"]["vector"]
+        assert any("vector" in p for p in validate_payload(payload))
+
+    def test_missing_vector_ipc_agreement_reported(self):
+        payload = make_payload()
+        del payload["phases"]["vector"]["ipc_relative_error"]
+        assert any("ipc_relative_error" in p
+                   for p in validate_payload(payload))
 
     def test_wrong_schema_rejected(self):
         payload = make_payload()
@@ -107,7 +124,8 @@ class TestCommittedBaseline:
     def test_baseline_parses_with_positive_pins(self):
         baseline = json.loads(BASELINE_PATH.read_text())
         assert set(baseline["speedups"]) == {
-            "profile", "synthesis", "synthesis_low_r", "pipeline"}
+            "profile", "synthesis", "synthesis_low_r", "pipeline",
+            "vector", "vector_synthesis"}
         assert all(value > 1.0
                    for value in baseline["speedups"].values())
 

@@ -1,0 +1,142 @@
+"""Vector-mode design-space sweeps: cache keying, shared-table
+attachment, and serial/parallel agreement.
+
+The columnar draw stream is statistically equivalent to the scalar one
+but not identical, so the two modes must never share cache entries;
+within one mode, serial and parallel sweeps must stay bit-identical
+(the determinism contract the scalar engine already pins).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.profiler import profile_trace
+from repro.dse.cache import ResultCache, result_key
+from repro.dse.engine import SweepEngine, _worker_init, evaluate_metrics
+from repro.dse.space import DesignPoint
+
+
+@pytest.fixture
+def profile(small_trace, config):
+    return profile_trace(small_trace, config, order=1)
+
+
+@pytest.fixture
+def points(config):
+    return [DesignPoint(config=config.with_width(w),
+                        params=(("width", w),))
+            for w in (2, 4)]
+
+
+class TestResultKeyMode:
+    def test_scalar_mode_preserves_existing_keys(self):
+        """mode="scalar" must hash identically to the pre-mode key so
+        every existing cache entry stays valid."""
+        legacy = result_key("p", "c", 0, 6.0)
+        assert result_key("p", "c", 0, 6.0, mode="scalar") == legacy
+
+    def test_vector_mode_gets_distinct_keys(self):
+        scalar = result_key("p", "c", 0, 6.0)
+        vector = result_key("p", "c", 0, 6.0, mode="vector")
+        assert vector != scalar
+
+    def test_vector_keys_are_stable(self):
+        assert result_key("p", "c", 0, 6.0, mode="vector") \
+            == result_key("p", "c", 0, 6.0, mode="vector")
+
+
+class TestEvaluateMetricsVector:
+    def test_vector_metrics_differ_but_agree(self, profile, config):
+        scalar = evaluate_metrics(profile, config, seed=0,
+                                  reduction_factor=4.0)
+        vector = evaluate_metrics(profile, config, seed=0,
+                                  reduction_factor=4.0, vector=True)
+        # Same synthetic length (same context multiset), different
+        # draws, comparable IPC.
+        assert vector["synthetic_instructions"] \
+            == scalar["synthetic_instructions"]
+        assert vector["ipc"] > 0
+        assert abs(vector["ipc"] - scalar["ipc"]) / scalar["ipc"] < 0.5
+
+    def test_vector_metrics_deterministic(self, profile, config):
+        a = evaluate_metrics(profile, config, seed=7,
+                             reduction_factor=4.0, vector=True)
+        b = evaluate_metrics(profile, config, seed=7,
+                             reduction_factor=4.0, vector=True)
+        assert a == b
+
+
+class TestVectorSweep:
+    def test_serial_and_parallel_metrics_identical(self, profile,
+                                                   points):
+        serial = SweepEngine(profile, jobs=1, vector=True).evaluate(
+            points, seeds=(0, 1), reduction_factor=4.0)
+        parallel = SweepEngine(profile, jobs=2, vector=True).evaluate(
+            points, seeds=(0, 1), reduction_factor=4.0)
+        for s, p in zip(serial.results, parallel.results):
+            assert s.per_seed == p.per_seed
+
+    def test_modes_do_not_share_cache_entries(self, profile, points,
+                                              tmp_path):
+        cache = ResultCache(str(tmp_path / "cache"))
+        scalar = SweepEngine(profile, jobs=1, cache=cache).evaluate(
+            points, seeds=(0,), reduction_factor=4.0)
+        assert scalar.evaluated == 2 and scalar.cached == 0
+
+        vector_first = SweepEngine(
+            profile, jobs=1, cache=cache, vector=True).evaluate(
+            points, seeds=(0,), reduction_factor=4.0)
+        # The scalar entries must NOT satisfy vector lookups.
+        assert vector_first.cached == 0
+        assert vector_first.evaluated == 2
+
+        vector_again = SweepEngine(
+            profile, jobs=1, cache=cache, vector=True).evaluate(
+            points, seeds=(0,), reduction_factor=4.0)
+        assert vector_again.cached == 2
+        assert vector_again.evaluated == 0
+
+        scalar_again = SweepEngine(profile, jobs=1,
+                                   cache=cache).evaluate(
+            points, seeds=(0,), reduction_factor=4.0)
+        assert scalar_again.cached == 2
+
+
+class TestWorkerInit:
+    def test_worker_attaches_published_tables(self, profile,
+                                              monkeypatch):
+        """_worker_init with a tables descriptor attaches the shared
+        segment, adopts it for the profile's SFG, and counts the hit
+        (``dse.shared_tables_attached``)."""
+        import repro.dse.engine as engine_mod
+        from repro.core.columnar import (columnar_tables_cached,
+                                         columnar_tables_for)
+        from repro.core.serialization import profile_to_dict
+        from repro.core.shm_tables import publish_tables
+        from repro.obs.metrics import get_registry
+
+        published = publish_tables(columnar_tables_for(profile.sfg))
+        counter = get_registry().counter("dse.shared_tables_attached")
+        before = counter.value
+        try:
+            _worker_init(profile_to_dict(profile),
+                         tables_descriptor=published.descriptor)
+            assert counter.value == before + 1
+            worker_profile = engine_mod._WORKER_PROFILE
+            assert columnar_tables_cached(worker_profile.sfg)
+            # The adopted tables came from the shared blob, not a
+            # local rebuild: their arrays are read-only views.
+            tables = columnar_tables_for(worker_profile.sfg)
+            assert not tables.iclass.flags.writeable
+        finally:
+            published.unlink()
+
+    def test_worker_survives_vanished_segment(self, profile):
+        """A descriptor whose segment is already gone degrades to a
+        local build instead of crashing worker startup."""
+        from repro.core.serialization import profile_to_dict
+
+        _worker_init(profile_to_dict(profile),
+                     tables_descriptor={"kind": "shm",
+                                        "name": "psm_never_existed",
+                                        "size": 64})

@@ -1,0 +1,218 @@
+"""Shared-memory table publication: round-trip, attachment, hygiene.
+
+The hygiene contract matters more than the happy path: a DSE sweep that
+dies — cleanly, by SIGTERM, or by ``kill -9`` — must never leave
+orphaned segments in ``/dev/shm``.  Normal exits unlink explicitly
+(``finally``/``atexit``); hard kills fall through to the publisher's
+``resource_tracker`` process, which survives the kill and unlinks every
+registered segment.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.columnar import build_columnar_tables, generate_columnar_trace
+from repro.core.profiler import profile_trace
+from repro.core.shm_tables import (
+    attach_tables,
+    deserialize_tables,
+    publish_tables,
+    serialize_tables,
+)
+
+REPO_SRC = str(Path(__file__).resolve().parents[1] / "src")
+
+
+@pytest.fixture
+def tables(small_trace, config):
+    profile = profile_trace(small_trace, config, order=1)
+    return profile, build_columnar_tables(profile.sfg)
+
+
+def _shm_names():
+    try:
+        return set(os.listdir("/dev/shm"))
+    except FileNotFoundError:
+        return set()
+
+
+class TestSerialization:
+    def test_round_trip_preserves_every_array(self, tables):
+        _, original = tables
+        rebuilt = deserialize_tables(serialize_tables(original))
+        assert rebuilt.order == original.order
+        assert rebuilt.contexts == original.contexts
+        assert rebuilt.ctx_index == original.ctx_index
+        assert rebuilt.edges == original.edges
+        for name, array in original.arrays().items():
+            assert np.array_equal(getattr(rebuilt, name), array), name
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(ValueError, match="magic"):
+            deserialize_tables(b"NOTMAGIC" + b"\0" * 64)
+
+    def test_views_are_zero_copy(self, tables):
+        _, original = tables
+        blob = serialize_tables(original)
+        rebuilt = deserialize_tables(blob)
+        # frombuffer over the blob: read-only views, no private copies.
+        assert not rebuilt.iclass.flags.writeable
+
+
+class TestPublishAttach:
+    def test_attach_produces_identical_synthesis(self, tables):
+        profile, original = tables
+        published = publish_tables(original)
+        try:
+            attached = attach_tables(published.descriptor)
+            from repro.core.columnar import adopt_columnar_tables
+
+            adopt_columnar_tables(profile.sfg, attached)
+            via_shared = generate_columnar_trace(profile, 4.0, seed=0)
+            local = build_columnar_tables(profile.sfg)
+            adopt_columnar_tables(profile.sfg, local)
+            via_local = generate_columnar_trace(profile, 4.0, seed=0)
+            assert np.array_equal(via_shared.iclass, via_local.iclass)
+            assert np.array_equal(via_shared.dep_val, via_local.dep_val)
+        finally:
+            published.unlink()
+
+    def test_file_fallback_round_trips(self, tables, tmp_path,
+                                       monkeypatch):
+        _, original = tables
+
+        # Force the shm path to fail so publish lands on the file
+        # fallback.
+        import repro.core.shm_tables as shm_mod
+
+        class _Boom:
+            def __init__(self, *a, **k):
+                raise OSError("no shared memory here")
+
+        import multiprocessing.shared_memory as shared_memory
+
+        monkeypatch.setattr(shared_memory, "SharedMemory", _Boom)
+        published = shm_mod.publish_tables(original,
+                                           fallback_dir=str(tmp_path))
+        try:
+            assert published.kind == "file"
+            assert Path(published.name).exists()
+            rebuilt = attach_tables(published.descriptor)
+            assert np.array_equal(rebuilt.iclass, original.iclass)
+        finally:
+            published.unlink()
+        assert not Path(published.name).exists()
+
+    def test_unlink_is_idempotent(self, tables):
+        _, original = tables
+        published = publish_tables(original)
+        published.unlink()
+        published.unlink()  # second call must be a no-op
+
+
+class TestHygiene:
+    """No /dev/shm orphans, however the publisher dies."""
+
+    PUBLISH_AND_WAIT = """
+import sys, time
+sys.path.insert(0, {src!r})
+from tests.conftest import make_tiny_program
+from repro.frontend.functional import run_program
+from repro.config import baseline_config
+from repro.core.profiler import profile_trace
+from repro.core.columnar import build_columnar_tables
+from repro.core.shm_tables import publish_tables
+
+trace = run_program(make_tiny_program(), n_instructions=400)
+profile = profile_trace(trace, baseline_config(), order=1)
+published = publish_tables(build_columnar_tables(profile.sfg))
+print(published.name, flush=True)
+{epilogue}
+"""
+
+    def _spawn(self, epilogue: str) -> subprocess.Popen:
+        code = self.PUBLISH_AND_WAIT.format(src=REPO_SRC,
+                                            epilogue=epilogue)
+        env = dict(os.environ,
+                   PYTHONPATH=REPO_SRC + os.pathsep
+                   + str(Path(REPO_SRC).parent))
+        return subprocess.Popen([sys.executable, "-c", code],
+                                stdout=subprocess.PIPE, text=True,
+                                env=env,
+                                cwd=str(Path(REPO_SRC).parent))
+
+    def _assert_gone(self, name: str, timeout: float = 10.0) -> None:
+        name = name.lstrip("/")
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if name not in _shm_names():
+                return
+            time.sleep(0.1)
+        raise AssertionError(
+            f"segment {name} still in /dev/shm after {timeout}s")
+
+    @pytest.mark.skipif(not os.path.isdir("/dev/shm"),
+                        reason="no /dev/shm on this platform")
+    def test_normal_exit_unlinks(self):
+        proc = self._spawn("")  # falls off the end: atexit unlinks
+        name = proc.stdout.readline().strip()
+        proc.wait(timeout=30)
+        assert name
+        self._assert_gone(name)
+
+    @pytest.mark.skipif(not os.path.isdir("/dev/shm"),
+                        reason="no /dev/shm on this platform")
+    def test_sigterm_unlinks(self):
+        proc = self._spawn("time.sleep(60)")
+        name = proc.stdout.readline().strip()
+        proc.send_signal(signal.SIGTERM)
+        proc.wait(timeout=30)
+        assert name
+        # atexit is skipped on the default SIGTERM handler; the
+        # resource tracker survives the death and unlinks.
+        self._assert_gone(name)
+
+    @pytest.mark.skipif(not os.path.isdir("/dev/shm"),
+                        reason="no /dev/shm on this platform")
+    def test_kill_9_leaves_no_orphans(self):
+        proc = self._spawn("time.sleep(60)")
+        name = proc.stdout.readline().strip()
+        os.kill(proc.pid, signal.SIGKILL)
+        proc.wait(timeout=30)
+        assert name
+        # Nothing in the publisher ran — no finally, no atexit, no
+        # signal handler.  The tracker process is the only line of
+        # defense, and it must hold.
+        self._assert_gone(name)
+
+
+class TestVectorSweepHygiene:
+    def test_parallel_vector_sweep_under_worker_kill_chaos(
+            self, small_trace, config):
+        """A vector sweep whose workers are being chaos-killed must
+        still finish (supervisor rebuilds the pool) and must not leave
+        shm segments behind."""
+        from repro.faults import ChaosPlan
+        from repro.dse.engine import SweepEngine
+        from repro.dse.space import DesignPoint
+
+        before = _shm_names()
+        profile = profile_trace(small_trace, config, order=1)
+        points = [DesignPoint(config=config.with_width(w),
+                              params=(("width", w),))
+                  for w in (2, 4)]
+        engine = SweepEngine(
+            profile, jobs=2, vector=True,
+            fault_plan=ChaosPlan.parse("seed=3;worker-kill:rate=0.5"))
+        result = engine.evaluate(points, seeds=(0, 1),
+                                 reduction_factor=4.0)
+        assert result.total_tasks == 4
+        leftovers = _shm_names() - before
+        assert not leftovers, leftovers
