@@ -288,6 +288,13 @@ def _build_parser() -> argparse.ArgumentParser:
              "REPRO_CHAOS, e.g. 'seed=1;worker-kill:rate=0.3'); "
              "overrides the environment")
     dse.add_argument(
+        "--deadline", type=_positive_float, default=None,
+        metavar="SECONDS",
+        help="wall-clock budget for the whole sweep; evaluations "
+             "past the cutoff fail fast with DeadlineExceededError "
+             "at their next cooperative checkpoint (overrides the "
+             "REPRO_HEALTH deadline)")
+    dse.add_argument(
         "--bench", default=None, metavar="BENCH_dse.json",
         help="instead of one sweep, time serial vs --jobs parallel vs "
              "warm-cache re-run and write the machine-readable "
@@ -510,6 +517,11 @@ def _build_parser() -> argparse.ArgumentParser:
                              "sweeps skip duplicate evaluations)")
     submit.add_argument("--seeds", default=None, metavar="N[,N...]",
                         help="synthesis seeds (default: the scale's)")
+    submit.add_argument("--deadline", type=_positive_float,
+                        default=None, metavar="SECONDS",
+                        help="wall-clock budget for the sweep job; "
+                             "evaluations past the cutoff fail fast "
+                             "at their next cooperative checkpoint")
     submit.add_argument("--sleep", type=_positive_float, default=None,
                         metavar="SECONDS",
                         help="instead of a sweep, submit a no-op job "
@@ -691,6 +703,26 @@ def _parse_chaos_arg(args: argparse.Namespace):
         return None
 
 
+def _health_policy(deadline):
+    """The sweep's health policy: REPRO_HEALTH from the environment,
+    with ``--deadline`` (when given) overriding the spec's deadline.
+
+    Returns the :class:`~repro.health.HealthPolicy`, or ``None`` after
+    reporting a bad REPRO_HEALTH spec (caller exits 2).
+    """
+    from repro.errors import HealthSpecError
+    from repro.health import HealthPolicy
+
+    try:
+        policy = HealthPolicy.from_env()
+    except HealthSpecError as exc:
+        obs.error(f"REPRO_HEALTH: {exc}", event="cli_error")
+        return None
+    if deadline is not None:
+        policy = policy.with_deadline(deadline)
+    return policy
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     from repro.experiments.common import DEFAULT_SCALE, QUICK_SCALE
     from repro.runner import RunnerPolicy, TaskRunner
@@ -808,6 +840,10 @@ def _cmd_dse(args: argparse.Namespace) -> int:
     study_kwargs = {}
     if chaos is not _NO_CHAOS:
         study_kwargs["fault_plan"] = chaos
+    health = _health_policy(args.deadline)
+    if health is None:
+        return 2
+    study_kwargs["health"] = health
     study = run_study(
         spec, args.benchmark, scale, jobs=args.jobs,
         cache_dir=args.cache_dir,
@@ -1183,6 +1219,8 @@ def _submit_payload(args: argparse.Namespace) -> Optional[dict]:
                       f"got {args.seeds!r}", event="cli_error")
             return None
         payload["seeds"] = seeds
+    if getattr(args, "deadline", None) is not None:
+        payload["deadline"] = args.deadline
     return payload
 
 

@@ -46,6 +46,7 @@ from weakref import WeakKeyDictionary
 import numpy as np
 
 from repro.errors import SynthesisError
+from repro.health.budget import checkpoint as _health_checkpoint
 from repro.obs.metrics import get_registry
 from repro.obs.tracing import trace_span
 from repro.isa.iclass import (
@@ -59,6 +60,7 @@ from repro.core.reduction import ReducedFlowGraph, reduce_flow_graph
 from repro.core.sampling import FenwickSampler
 from repro.core.sfg import Context, StatisticalFlowGraph
 from repro.core.synthesis import MAX_DEPENDENCY_RETRIES
+from repro.core.synthesis import _HEALTH_EVERY
 from repro.core.synthetic import SyntheticInstruction, SyntheticTrace
 
 _OUTCOMES = (BranchOutcome(0), BranchOutcome(1), BranchOutcome(2))
@@ -409,6 +411,7 @@ def _walk_context_sequence(tables: ColumnarTables,
     total_len = 0
     eligible_weights: List[int] = []
     eligible_targets: List[int] = []
+    next_health = _HEALTH_EVERY
 
     while total_remaining > 0:
         if pending:
@@ -422,6 +425,9 @@ def _walk_context_sequence(tables: ColumnarTables,
             total_remaining -= 1
             seq_append(cid)
             total_len += block_len[cid]
+            if total_len >= next_health:
+                next_health = total_len + _HEALTH_EVERY
+                _health_checkpoint(total_len)
             if total_len >= limit:
                 total_remaining = 0
                 break

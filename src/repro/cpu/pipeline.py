@@ -48,8 +48,17 @@ from repro.cpu.source import (ColumnarSource, FetchSlot,
                               InstructionSource, PreannotatedSource,
                               _FILLER_CACHE, _filler_slot)
 
+from repro.health.budget import checkpoint as _health_checkpoint
+
 #: Dependency-resolution window (matches the profile's distance cap).
 _HISTORY = 512
+
+#: Cycles between cooperative health checkpoints (deadline check,
+#: progress heartbeat, RSS guardrail — :mod:`repro.health`).  The
+#: checkpoint consumes no randomness and touches no machine state, so
+#: the simulated results are bit-identical with or without a budget;
+#: the in-loop cost is one integer comparison per cycle.
+_HEALTH_EVERY = 4096
 
 
 class _Inflight:
@@ -197,6 +206,7 @@ class SuperscalarPipeline:
         free_append = free.append
 
         cycle = 0
+        next_health = _HEALTH_EVERY
         fetch_block_until = 0
         episode: Optional[_Inflight] = None  # unresolved mispredicted branch
         filler_offset = 0
@@ -556,6 +566,9 @@ class SuperscalarPipeline:
             lsq_occupancy_sum += lsq_count
             ifq_occupancy_sum += ifq_count
             cycle += 1
+            if cycle >= next_health:
+                next_health = cycle + _HEALTH_EVERY
+                _health_checkpoint(committed)
 
             if exhausted and not ifq_count and not ruu_count:
                 break
@@ -706,6 +719,7 @@ class SuperscalarPipeline:
         inflight_new = _Inflight.__new__
 
         cycle = 0
+        next_health = _HEALTH_EVERY
         fetch_block_until = 0
         episode: Optional[_Inflight] = None
         filler_offset = 0
@@ -985,6 +999,9 @@ class SuperscalarPipeline:
             lsq_occupancy_sum += lsq_count
             ifq_occupancy_sum += ifq_count
             cycle += 1
+            if cycle >= next_health:
+                next_health = cycle + _HEALTH_EVERY
+                _health_checkpoint(committed)
 
             if exhausted and not ifq_count and not ruu_count:
                 break

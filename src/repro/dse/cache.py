@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import fcntl
 import hashlib
+import os
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -254,12 +255,22 @@ class ResultCache:
         A corrupt entry (checksum mismatch, truncation) is deleted and
         reported as a miss — the caller re-evaluates and overwrites it.
         An unreadable entry (IO error) is left in place and reported
-        as a miss.  A hit refreshes the entry's recency in the shard
-        index, feeding LRU eviction.
+        as a miss; enough consecutive IO errors open the ``cache``
+        circuit breaker and reads degrade to unconditional misses
+        (writes keep flowing, so the store still fills back up).  A
+        hit refreshes the entry's recency in the shard index, feeding
+        LRU eviction.
         """
+        from repro.health.ladder import get_ladder
+
+        ladder = get_ladder()
+        if ladder.is_open("cache"):
+            self.stats.misses += 1
+            return None
         path = self._path(key)
         if not path.exists():
             self.stats.misses += 1
+            self._deindex_phantom(key, path)
             return None
         try:
             self._maybe_io_error("cache_get", key)
@@ -273,6 +284,8 @@ class ResultCache:
         except OSError as exc:
             self.stats.io_errors += 1
             self.stats.misses += 1
+            ladder.note_failure("cache",
+                                reason=f"read: {type(exc).__name__}")
             obs_events.emit("cache_io_error", level="warning",
                             msg=(f"cache read failed for "
                                  f"{key[:12]}...; treating as a miss "
@@ -280,6 +293,7 @@ class ResultCache:
                             op="get", key=key,
                             error=type(exc).__name__)
             return None
+        ladder.note_success("cache")
         self.stats.hits += 1
         try:
             size = float(path.stat().st_size)
@@ -287,6 +301,46 @@ class ResultCache:
             size = 0.0
         self._update_shard(key[:2], touch=(key, size))
         return payload
+
+    def _deindex_phantom(self, key: str, path: Path) -> None:
+        """A key the index remembers but no object file backs.
+
+        A ``kill -9`` mid-``put`` (or mid-evict) can leave the shard
+        index pointing at an entry that never landed, plus the dead
+        writer's orphaned ``*.tmp``.  Dropping the phantom on the
+        first read that notices keeps ``len()`` / ``total_bytes()`` /
+        eviction honest instead of recounting the ghost forever.
+        Orphan tmps are swept only when their writer pid is dead — a
+        live writer's in-flight tmp must survive its ``os.replace``.
+        """
+        shard = key[:2]
+        indexed = key in self._load_shard(shard)
+        orphans = (list(path.parent.glob(path.name + ".*.tmp"))
+                   if path.parent.is_dir() else [])
+        if not indexed and not orphans:
+            return
+        for orphan in orphans:
+            # <key>.json.<pid>.<serial>.tmp
+            parts = orphan.name.split(".")
+            try:
+                pid = int(parts[-3])
+            except (IndexError, ValueError):
+                pid = None
+            if pid is not None:
+                try:
+                    os.kill(pid, 0)
+                except ProcessLookupError:
+                    pass  # dead owner: debris
+                else:
+                    continue  # writer still alive (or not ours)
+            orphan.unlink(missing_ok=True)
+        if indexed:
+            self._update_shard(shard, drop=key)
+            obs_events.emit(
+                "cache_phantom_dropped", level="debug",
+                msg=(f"de-indexed phantom cache entry {key[:12]}... "
+                     f"(object never landed; writer died mid-put)"),
+                key=key, orphans=len(orphans))
 
     def put(self, key: str, metrics: Dict[str, float],
             meta: Optional[Dict[str, Any]] = None) -> Optional[Path]:
@@ -306,6 +360,10 @@ class ResultCache:
             write_json_atomic(path, payload)
         except OSError as exc:
             self.stats.io_errors += 1
+            from repro.health.ladder import get_ladder
+
+            get_ladder().note_failure(
+                "cache", reason=f"write: {type(exc).__name__}")
             obs_events.emit("cache_io_error", level="warning",
                             msg=(f"cache write failed for "
                                  f"{key[:12]}...; result not cached "

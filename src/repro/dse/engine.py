@@ -39,6 +39,8 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 from repro.config import MachineConfig
 from repro.errors import is_retryable
 from repro.faults import ChaosPlan, plan_from_env
+from repro.health.budget import (Budget, HealthPolicy, active_budget,
+                                 check_expired, install_budget)
 from repro.obs import events as obs_events
 from repro.obs.metrics import get_registry
 from repro.runner import RunnerPolicy, TaskRunner, WorkUnit
@@ -83,15 +85,26 @@ def evaluate_metrics(profile, config: MachineConfig, seed: int,
     a statistically equivalent but different draw sequence, so vector
     and scalar metrics are cached under distinct keys (see
     :func:`repro.dse.cache.result_key`).
+
+    The degradation ladder can override *vector*: once the ``vector``
+    breaker is open (canary drift, soft-RSS pressure) the evaluation
+    runs on the scalar rung instead, and the returned ``mode`` records
+    which rung actually executed so callers never cache a scalar draw
+    sequence under a vector key.
     """
+    from repro.health.ladder import get_ladder
     from repro.power.wattch import energy_delay_product
 
+    if vector and get_ladder().is_open("vector"):
+        vector = False
     if vector:
         from repro.core.columnar import generate_columnar_trace
         from repro.core.framework import simulate_columnar_trace
+        from repro.health.canary import maybe_check_columnar
 
         columnar = generate_columnar_trace(profile, reduction_factor,
                                            seed=seed)
+        maybe_check_columnar(profile, columnar)
         result, power = simulate_columnar_trace(columnar, config)
         count = len(columnar.iclass)
     else:
@@ -107,6 +120,7 @@ def evaluate_metrics(profile, config: MachineConfig, seed: int,
         "epc": power.total,
         "edp": energy_delay_product(power.total, result.ipc),
         "synthetic_instructions": count,
+        "mode": "vector" if vector else "scalar",
     }
 
 
@@ -126,7 +140,8 @@ def _worker_init(profile_payload: Dict,
                  lease_dir: Optional[str] = None,
                  telemetry_payload: Optional[Dict] = None,
                  flight_dir: Optional[str] = None,
-                 tables_descriptor: Optional[Dict] = None) -> None:
+                 tables_descriptor: Optional[Dict] = None,
+                 health_payload: Optional[Dict] = None) -> None:
     global _WORKER_PROFILE, _WORKER_FAULT_PLAN, _WORKER_LEASE_DIR
     from repro.core.serialization import profile_from_dict
     from repro.core.synthesis import prepare_recipes
@@ -149,6 +164,13 @@ def _worker_init(profile_payload: Dict,
     _WORKER_FAULT_PLAN = (ChaosPlan.parse(chaos_spec) if chaos_spec
                           else plan_from_env())
     _WORKER_LEASE_DIR = lease_dir
+    if health_payload:
+        # The sweep's budget (absolute deadline, RSS ceilings, canary
+        # policy) is installed before any evaluation runs; cooperative
+        # checkpoints inside the kernels consult it from then on.
+        install_budget(Budget(
+            HealthPolicy.from_payload(health_payload.get("policy")),
+            deadline_at=health_payload.get("deadline_at")))
     if tables_descriptor is not None:
         # Vector sweep: adopt the parent's published columnar tables
         # (zero-copy views into the shared segment) instead of
@@ -161,8 +183,12 @@ def _worker_init(profile_payload: Dict,
         except Exception:
             # A vanished segment (publisher died mid-init) degrades to
             # the local build inside the first evaluation — correctness
-            # never depends on the shared copy.
-            pass
+            # never depends on the shared copy.  Record the rung change
+            # so the degradation is visible, not silent.
+            from repro.health.ladder import get_ladder
+
+            get_ladder().trip(
+                "tables", reason="shared tables attach failed")
         else:
             adopt_columnar_tables(_WORKER_PROFILE.sfg, tables)
             get_registry().counter("dse.shared_tables_attached").inc()
@@ -195,6 +221,10 @@ def _run_task(task: Dict[str, Any], profile, policy: RunnerPolicy,
     while True:
         attempt += 1
         try:
+            # Fail fast on an already-blown deadline instead of paying
+            # for a synthesis that a mid-flight checkpoint would abort
+            # anyway.
+            check_expired()
             if fault_plan is not None:
                 fault_plan.inject(task["task_id"], task.get("benchmark"),
                                   attempt)
@@ -248,9 +278,15 @@ def _evaluate_one(task: Dict[str, Any],
     from repro.obs.tracing import trace_span
 
     task_id = task["task_id"]
+    budget = active_budget()
     if _WORKER_LEASE_DIR:
         write_lease(_WORKER_LEASE_DIR, task_id,
                     task.get("dispatch", 1))
+        if budget is not None:
+            # Route subsequent heartbeats at this task's lease so the
+            # supervisor's hang watchdog can tell progress from limbo.
+            budget.begin_task(_WORKER_LEASE_DIR, task_id,
+                              task.get("dispatch", 1))
     try:
         with trace_span("evaluate", task=task_id,
                         bench=task.get("benchmark"),
@@ -259,8 +295,19 @@ def _evaluate_one(task: Dict[str, Any],
             kill = getattr(plan, "maybe_kill_worker", None)
             if kill is not None:
                 kill(task_id, task.get("dispatch", 1))
+            if _WORKER_LEASE_DIR is not None:
+                # Hang injection only makes sense where a watchdog can
+                # shoot the victim; the serial path has no supervisor.
+                hang = getattr(plan, "maybe_hang_worker", None)
+                if hang is not None:
+                    hang(task_id, task.get("dispatch", 1))
+            balloon = getattr(plan, "maybe_balloon_memory", None)
+            if balloon is not None:
+                balloon(task_id, task.get("dispatch", 1))
             return _run_task(task, _WORKER_PROFILE, policy, plan)
     finally:
+        if budget is not None:
+            budget.end_task()
         if _WORKER_LEASE_DIR:
             clear_lease(_WORKER_LEASE_DIR, task_id)
 
@@ -295,12 +342,21 @@ class PointResult:
 
     @property
     def metrics(self) -> Dict[str, float]:
-        """Mean metrics over seeds (empty when every seed failed)."""
+        """Mean metrics over seeds (empty when every seed failed).
+
+        Only numeric metrics participate; annotations like ``mode``
+        (the rung an evaluation actually executed on) ride along in
+        ``per_seed`` but cannot be averaged.
+        """
         if not self.per_seed:
             return {}
-        keys = next(iter(self.per_seed.values())).keys()
+        first = next(iter(self.per_seed.values()))
+        keys = [key for key, value in first.items()
+                if isinstance(value, (int, float))
+                and not isinstance(value, bool)]
         n = len(self.per_seed)
-        return {key: sum(m[key] for m in self.per_seed.values()) / n
+        return {key: sum(m.get(key, 0.0)
+                         for m in self.per_seed.values()) / n
                 for key in keys}
 
     def to_row(self) -> Dict[str, Any]:
@@ -389,12 +445,17 @@ class SweepEngine:
         quarantine_path: Optional[Union[str, Any]] = None,
         log=None,
         vector: bool = False,
+        health: Optional[HealthPolicy] = None,
     ) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
         self.profile = profile
         self.jobs = jobs
         self.vector = vector
+        self.health = (health if health is not None
+                       else HealthPolicy.from_env())
+        #: Absolute wall-clock cutoff, computed once per evaluate().
+        self._deadline_at: Optional[float] = None
         self.cache = cache
         self.policy = policy or RunnerPolicy()
         if fault_plan is _ENV_PLAN:
@@ -468,6 +529,11 @@ class SweepEngine:
         def fn(unit: WorkUnit) -> Dict[str, Any]:
             from repro.core.serialization import config_from_dict
 
+            # Same fail-fast the pool workers get in _run_task: a
+            # blown deadline fails the remaining points immediately
+            # instead of waiting for an in-loop checkpoint (which a
+            # very short synthesis may never reach).
+            check_expired()
             task = task_by_unit[unit]
             return evaluate_metrics(
                 self.profile, config_from_dict(task["config"]),
@@ -523,6 +589,8 @@ class SweepEngine:
         # and crashed workers leave flightrec-<pid>.jsonl behind.
         telemetry_payload = telemetry.propagation_payload()
         flight_dir = self._flight_dir()
+        health_payload = {"policy": self.health.to_payload(),
+                          "deadline_at": self._deadline_at}
         with tempfile.TemporaryDirectory(
                 prefix="repro-leases-") as lease_dir:
             published = None
@@ -545,9 +613,13 @@ class SweepEngine:
                 import signal
 
                 def _on_term(signum, frame):
-                    published.unlink()
-                    signal.signal(signal.SIGTERM, previous)
-                    signal.raise_signal(signal.SIGTERM)
+                    # Convert SIGTERM into the interrupt path: the
+                    # exception unwinds through the supervisor (which
+                    # attaches finished outcomes), every ``finally``
+                    # here runs (segment unlink, lease dir removal),
+                    # and the caller still gets a partial report
+                    # instead of a silent kill that leaks /dev/shm.
+                    raise KeyboardInterrupt
 
                 try:
                     previous = signal.signal(signal.SIGTERM, _on_term)
@@ -563,7 +635,7 @@ class SweepEngine:
                     initializer=_worker_init,
                     initargs=(payload, chaos_spec, lease_dir,
                               telemetry_payload, flight_dir,
-                              descriptor))
+                              descriptor, health_payload))
 
             supervisor = PoolSupervisor(
                 pool_factory=pool_factory,
@@ -574,7 +646,8 @@ class SweepEngine:
                 serial_fn=self._run_serial,
                 lease_dir=lease_dir,
                 flight_dir=flight_dir,
-                log=self.log)
+                log=self.log,
+                health=self.health)
             try:
                 return supervisor.run(tasks)
             finally:
@@ -607,6 +680,11 @@ class SweepEngine:
                   reduction_factor: float = 6.0) -> SweepResult:
         started = time.perf_counter()
         registry = get_registry()
+        # The deadline is relative to sweep start; the absolute cutoff
+        # computed here ships to every worker so their cooperative
+        # checkpoints all measure against the same wall clock.
+        self._deadline_at = (time.time() + self.health.deadline
+                             if self.health.deadline else None)
         stats_before = (self.cache.stats.to_payload()
                         if self.cache is not None else None)
         obs_events.emit("sweep_start", level="debug",
@@ -636,6 +714,12 @@ class SweepEngine:
         interrupted = False
         outcomes: List[Dict[str, Any]] = []
         if pending:
+            # Serial evaluations checkpoint against this budget from
+            # inside the simulation loops; for jobs>1 the workers get
+            # their own budgets via the pool initializer and this one
+            # merely covers any serial fallback.
+            install_budget(Budget(self.health,
+                                  deadline_at=self._deadline_at))
             try:
                 if self.jobs > 1:
                     outcomes = self._run_parallel(pending)
@@ -657,6 +741,8 @@ class SweepEngine:
                     experiment=self.experiment,
                     benchmark=self.benchmark,
                     finished=len(outcomes), pending=len(pending))
+            finally:
+                install_budget(None)
 
         evaluated = failed = quarantined = recipe_reuse = 0
         for outcome in outcomes:
@@ -671,7 +757,20 @@ class SweepEngine:
                 result.per_seed[task["base_seed"]] = outcome["metrics"]
                 result.evaluated_seeds += 1
                 if self.cache is not None:
-                    self.cache.put(task["key"], outcome["metrics"],
+                    key = task["key"]
+                    mode = outcome["metrics"].get("mode")
+                    keyed = "vector" if task.get("vector") else "scalar"
+                    if mode and mode != keyed:
+                        # The worker degraded rungs mid-sweep (e.g.
+                        # canary drift tripped vector→scalar): store
+                        # the result under the rung that actually ran,
+                        # never under the key the dispatcher assumed.
+                        key = result_key(
+                            self.profile_hash,
+                            result.point.config_hash,
+                            task["base_seed"],
+                            task["reduction_factor"], mode=mode)
+                    self.cache.put(key, outcome["metrics"],
                                    meta={
                                        "task_id": task["task_id"],
                                        "base_seed": task["base_seed"],

@@ -101,6 +101,7 @@ def run_study(
     quarantine_path: Optional[str] = None,
     log=None,
     vector: bool = False,
+    health=None,
 ) -> StudyResult:
     """Run the full section 4.6 protocol for one benchmark.
 
@@ -109,7 +110,10 @@ def run_study(
     ``quarantine_path`` (poison-point manifest) pass straight through
     to the :class:`~repro.dse.engine.SweepEngine`; ``vector`` routes
     every sweep evaluation through the columnar batch kernels (cached
-    under distinct keys, shared tables published to pool workers).
+    under distinct keys, shared tables published to pool workers);
+    ``health`` (a :class:`~repro.health.budget.HealthPolicy`, default
+    from ``REPRO_HEALTH``) carries the sweep's deadline, RSS ceilings
+    and hang-watchdog settings.
     """
     from repro.core.framework import run_execution_driven
     from repro.power.wattch import energy_delay_product
@@ -122,7 +126,7 @@ def run_study(
                          experiment=spec.name, benchmark=benchmark,
                          supervisor_policy=supervisor_policy,
                          quarantine_path=quarantine_path,
-                         log=log, vector=vector)
+                         log=log, vector=vector, health=health)
     sweep = engine.evaluate(points, seeds=seeds or scale.seeds,
                             reduction_factor=scale.reduction_factor)
     study = StudyResult(benchmark=benchmark, spec=spec, sweep=sweep)

@@ -22,9 +22,18 @@ loses all in-flight work.  This module keeps the sweep alive:
   freshly built pool.
 * **serial fallback** — when the pool breaks repeatedly without
   completing any task (or cannot be built at all), the supervisor
-  degrades to the caller-supplied in-process path.  Chaos worker-kill
+  degrades to the caller-supplied in-process path (the ``pool`` rung
+  of the :mod:`repro.health` degradation ladder).  Chaos worker-kill
   only fires inside pool workers, so under injection the fallback is
   also what lets a "kill everything" run still complete.
+* **hang watchdog** — a crash breaks the pool by itself; a *hang*
+  (spin loop, deadlocked syscall) does not.  Workers stamp a ``beat``
+  timestamp plus a progress counter into their lease on every health
+  checkpoint (:mod:`repro.health`), and the supervisor polls the lease
+  directory while waiting on futures: a worker whose beat goes staler
+  than the policy's ``hang_timeout`` is SIGKILLed, which converts the
+  hang into an ordinary pool break — same attribution, same requeue,
+  same quarantine-after-budget path as a crash.
 
 The supervisor narrates itself through :mod:`repro.obs`
 (``supervisor.*`` events and counters).  Determinism is unaffected:
@@ -38,6 +47,7 @@ import json
 import os
 import signal
 import time
+from concurrent.futures import FIRST_COMPLETED, wait as futures_wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -82,13 +92,20 @@ def lease_path(lease_dir: Union[str, Path], task_id: str) -> Path:
 
 
 def write_lease(lease_dir: Union[str, Path], task_id: str,
-                dispatch: int, pid: Optional[int] = None) -> Path:
-    """Record "this process is about to run *task_id*" on disk."""
+                dispatch: int, pid: Optional[int] = None,
+                progress: int = 0) -> Path:
+    """Record "this process is about to run *task_id*" on disk.
+
+    The record doubles as the hang watchdog's heartbeat: ``beat`` is
+    stamped here and refreshed (with ``progress`` — cycles or
+    instructions committed) by the worker's health checkpoints."""
     path = lease_path(lease_dir, task_id)
     path.write_text(json.dumps({
         "task_id": task_id,
         "pid": pid if pid is not None else os.getpid(),
         "dispatch": dispatch,
+        "beat": time.time(),
+        "progress": int(progress),
     }))
     return path
 
@@ -209,6 +226,7 @@ class PoolSupervisor:
         lease_dir: Optional[Union[str, Path]] = None,
         flight_dir: Optional[Union[str, Path]] = None,
         log: Optional[Callable[[str], None]] = None,
+        health: Optional[Any] = None,
     ) -> None:
         self.pool_factory = pool_factory
         self.task_fn = task_fn
@@ -220,6 +238,15 @@ class PoolSupervisor:
         self.lease_dir = Path(lease_dir) if lease_dir else None
         self.flight_dir = Path(flight_dir) if flight_dir else None
         self.log = log or (lambda message: None)
+        # The health policy supplies the hang watchdog's knobs; None
+        # (or hang_timeout=0) disables the watchdog and restores plain
+        # blocking collection.
+        self.health = health
+        self.hang_timeout = float(getattr(health, "hang_timeout", 0.0)
+                                  or 0.0)
+        self.poll_interval = float(getattr(health, "poll_interval", 0.5)
+                                   or 0.5)
+        self._last_hang_scan = 0.0
         self.crashes: Dict[str, int] = {}
         # task_id -> pid of the worker that last died holding its lease
         # (how a quarantine record finds its flight-recorder dump).
@@ -334,10 +361,54 @@ class PoolSupervisor:
                             tasks=[t["task_id"] for t in requeue])
         return requeue
 
+    def _kill_hung_workers(self, pool) -> None:
+        """SIGKILL pool workers whose lease beat went stale.
+
+        Only pids the pool actually owns are eligible — a stale lease
+        left by an already-reaped worker must not get an unrelated
+        process killed.  The SIGKILL breaks the pool, handing the hung
+        task to the ordinary crash attribution path."""
+        if (self.lease_dir is None or self.hang_timeout <= 0
+                or pool is None):
+            return
+        now = time.time()
+        if now - self._last_hang_scan < self.poll_interval:
+            return
+        self._last_hang_scan = now
+        pool_pids = set((getattr(pool, "_processes", None) or {}).keys())
+        for record in read_leases(self.lease_dir):
+            beat = record.get("beat")
+            pid = record.get("pid")
+            if beat is None or pid is None or int(pid) not in pool_pids:
+                continue
+            stale = now - float(beat)
+            if stale <= self.hang_timeout:
+                continue
+            try:
+                os.kill(int(pid), signal.SIGKILL)
+            except OSError:
+                continue
+            get_registry().counter("health.hang_kills").inc()
+            obs_events.emit(
+                "health.hang_kill", level="warning",
+                msg=(f"worker {pid} hung on "
+                     f"{record.get('task_id')} (no progress for "
+                     f"{stale:.1f}s > {self.hang_timeout:.1f}s); "
+                     f"killed for requeue"),
+                task=record.get("task_id"), pid=int(pid),
+                stale_seconds=round(stale, 1),
+                progress=record.get("progress"))
+            self.log(f"hang watchdog: killed worker {pid} "
+                     f"({record.get('task_id')}, beat {stale:.1f}s "
+                     f"stale)")
+
     # -- execution ------------------------------------------------------
 
     def _run_serial_fallback(self, tasks: List[Dict[str, Any]],
                              outcomes: List[Dict[str, Any]]) -> None:
+        from repro.health.ladder import get_ladder
+
+        get_ladder().trip("pool", reason="worker pool unavailable")
         get_registry().counter("supervisor.serial_fallbacks").inc()
         obs_events.emit("supervisor.serial_fallback", level="warning",
                         msg=(f"worker pool unavailable; running "
@@ -374,24 +445,41 @@ class PoolSupervisor:
                         self.task_fn, dispatched, self.runner_policy)))
                 completed = 0
                 in_flight: List[Dict[str, Any]] = []
-                for task, future in futures:
-                    try:
-                        outcomes.append(future.result())
-                        completed += 1
-                    except BrokenProcessPool:
-                        in_flight.append(task)
-                    except Exception as exc:  # noqa: BLE001
-                        # task_fn contains task errors itself; anything
-                        # surfacing here is harness-level (e.g. a
-                        # pickling failure) — record, don't crash.
-                        outcomes.append({
-                            "task": task, "status": "failed",
-                            "metrics": None, "attempts": 1,
-                            "elapsed": 0.0,
-                            "error": {"type": type(exc).__name__,
-                                      "message": str(exc),
-                                      "retryable": False}})
-                        completed += 1
+                waiting = {future: task for task, future in futures}
+                # Timed collection instead of a blocking result() per
+                # future: between completions the hang watchdog gets a
+                # chance to scan lease beats.  With the watchdog off
+                # the timeout is None and this is plain blocking
+                # collection.
+                poll = (self.poll_interval
+                        if self.hang_timeout > 0 and self.lease_dir
+                        else None)
+                while waiting:
+                    done, _ = futures_wait(
+                        list(waiting), timeout=poll,
+                        return_when=FIRST_COMPLETED)
+                    for future in done:
+                        task = waiting.pop(future)
+                        try:
+                            outcomes.append(future.result())
+                            completed += 1
+                        except BrokenProcessPool:
+                            in_flight.append(task)
+                        except Exception as exc:  # noqa: BLE001
+                            # task_fn contains task errors itself;
+                            # anything surfacing here is harness-level
+                            # (e.g. a pickling failure) — record,
+                            # don't crash.
+                            outcomes.append({
+                                "task": task, "status": "failed",
+                                "metrics": None, "attempts": 1,
+                                "elapsed": 0.0,
+                                "error": {"type": type(exc).__name__,
+                                          "message": str(exc),
+                                          "retryable": False}})
+                            completed += 1
+                    if waiting and not done:
+                        self._kill_hung_workers(pool)
                 if not in_flight:
                     continue
                 pending = self._handle_break(pool, in_flight, outcomes) \

@@ -81,6 +81,37 @@ class ChaosSpecError(ReproError, ValueError):
     an out-of-range value."""
 
 
+class HealthSpecError(ReproError, ValueError):
+    """A ``REPRO_HEALTH`` health-policy spec string
+    (:mod:`repro.health`) is malformed: unknown key, non-numeric or
+    out-of-range value, or a hard RSS ceiling below the soft one."""
+
+
+class DeadlineExceededError(ReproError, TimeoutError):
+    """The end-to-end health deadline (:mod:`repro.health`) expired
+    while this point was still simulating.  Raised from a cooperative
+    cancel checkpoint *inside* the pipeline or synthesis loop, so the
+    point stops within milliseconds instead of at the next pool
+    barrier.  Not retryable: the budget is gone for every attempt."""
+
+
+class MemoryBudgetError(ReproError, MemoryError):
+    """A worker's RSS crossed the hard ceiling of its health policy
+    (:mod:`repro.health`).  The point fails cleanly — flight-recorder
+    dump, structured error — instead of gambling on the OOM killer.
+    Not retryable: re-running the same point would balloon again."""
+
+
+class CanaryDriftError(ReproError):
+    """The sampled statistical canary on the vector path found the
+    columnar draws drifting outside the acceptance tolerances
+    (:mod:`repro.fuzz.acceptance`).  Retryable by design: the canary
+    trips the vector circuit breaker first, so the retry lands on the
+    scalar rung of the degradation ladder."""
+
+    retryable = True
+
+
 class SweepInterrupted(KeyboardInterrupt):
     """Ctrl-C landed mid-sweep.  Subclasses ``KeyboardInterrupt`` (so
     any generic interrupt handling still applies) and carries the

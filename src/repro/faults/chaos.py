@@ -39,6 +39,20 @@ hooks.  The injection *sites*:
     Skip a running job's lease-heartbeat write
     (:mod:`repro.service.jobs`), so the lease goes stale and a
     restarted daemon requeues the job exactly like a crashed one.
+``worker-hang``
+    Spin a pool worker forever right before it runs a task — alive,
+    consuming a slot, making no progress and writing no heartbeats.
+    The canary for the :class:`~repro.dse.supervisor.PoolSupervisor`
+    hang watchdog (:mod:`repro.health`): the stale lease beat gets the
+    worker killed, attributed and the point eventually quarantined
+    exactly like a crash.  Only ever fired inside pool worker
+    processes — hanging a serial sweep would hang the user.
+``mem-balloon``
+    Allocate ``mb`` megabytes of resident memory (touched pages, held
+    for the worker's lifetime) before running a task — the canary for
+    the RSS guardrail: the soft ceiling trips the memory rung of the
+    degradation ladder, the hard ceiling fails the point cleanly with
+    a flight-recorder dump.
 ``pipeline-skew``
     Perturb the optimized pipeline's result inside the differential
     fuzzing oracle (:mod:`repro.fuzz.oracle`): the reference and the
@@ -60,6 +74,7 @@ Spec grammar (segments split on ``;``, site options on ``,``)::
              | "match=" TEXT      # only tokens containing TEXT
                                   # (no "," ";" or ":" — grammar chars)
              | "delay=" FLOAT     # slow-call sleep seconds
+             | "mb=" FLOAT        # mem-balloon megabytes
 
 Every decision is a pure function of ``(seed, site, token, attempt)``
 — a SHA-256 hash, no shared RNG stream — so injection is
@@ -87,15 +102,19 @@ from typing import Dict, Optional, Tuple
 from repro.errors import ChaosSpecError, InjectedFaultError, InjectedIOError
 
 #: Every site name the spec grammar accepts.
-SITES = ("worker-kill", "task-fail", "io-error", "artifact-corrupt",
-         "slow-call", "journal-corrupt", "submit-drop",
-         "heartbeat-loss", "pipeline-skew")
+SITES = ("worker-kill", "worker-hang", "mem-balloon", "task-fail",
+         "io-error", "artifact-corrupt", "slow-call", "journal-corrupt",
+         "submit-drop", "heartbeat-loss", "pipeline-skew")
 
 #: Exit status used by the worker-kill site; distinctive on purpose so
 #: supervisor logs and tests can tell an injected kill from a real one.
 WORKER_KILL_EXIT_CODE = 87
 
-_SITE_KEYS = ("rate", "attempts", "match", "delay")
+_SITE_KEYS = ("rate", "attempts", "match", "delay", "mb")
+
+#: mem-balloon ballast: module-level so the allocation outlives the
+#: injection call and keeps the worker's RSS elevated.
+_BALLAST: list = []
 
 
 @dataclass(frozen=True)
@@ -107,6 +126,7 @@ class ChaosSite:
     attempts: int = 0
     match: str = ""
     delay: float = 0.25
+    mb: float = 64.0
 
     def __post_init__(self) -> None:
         if self.name not in SITES:
@@ -124,6 +144,9 @@ class ChaosSite:
         if self.delay < 0:
             raise ChaosSpecError(
                 f"{self.name}: delay must be >= 0, got {self.delay!r}")
+        if self.mb <= 0:
+            raise ChaosSpecError(
+                f"{self.name}: mb must be positive, got {self.mb!r}")
 
     def to_segment(self) -> str:
         parts = []
@@ -182,7 +205,7 @@ class ChaosPlan:
                             f"{name}: unknown option {key!r}; expected "
                             f"one of {', '.join(_SITE_KEYS)}")
                     try:
-                        if key in ("rate", "delay"):
+                        if key in ("rate", "delay", "mb"):
                             kwargs[key] = float(value)
                         elif key == "attempts":
                             kwargs[key] = int(value)
@@ -284,6 +307,29 @@ class ChaosPlan:
             except Exception:
                 pass
             os._exit(WORKER_KILL_EXIT_CODE)
+
+    def maybe_hang_worker(self, token: str, dispatch: int = 1) -> None:
+        """worker-hang site: spin forever without progress.
+
+        The sleep loop never reaches a health checkpoint, so the lease
+        beat written at task start goes stale — which is the point:
+        only the supervisor's hang watchdog (SIGKILL on a stale beat)
+        can end this process.  Call this only from inside a pool
+        worker process; a serial sweep must never enter it.
+        """
+        if self.fires("worker-hang", token, dispatch):
+            while True:  # pragma: no cover - exits only via SIGKILL
+                time.sleep(0.05)
+
+    def maybe_balloon_memory(self, token: str, dispatch: int = 1) -> None:
+        """mem-balloon site: grow this process's RSS by the site's
+        ``mb`` megabytes of touched pages, held for the process
+        lifetime so the health RSS watchdog sees a sustained breach
+        rather than a transient spike."""
+        site = self.sites.get("mem-balloon")
+        if site is not None and self.fires("mem-balloon", token,
+                                           dispatch):
+            _BALLAST.append(b"\x01" * int(site.mb * 1024 * 1024))
 
     def maybe_io_error(self, op: str, token: str = "") -> None:
         """io-error site: raise :class:`InjectedIOError` for the

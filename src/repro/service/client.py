@@ -149,6 +149,11 @@ class ServiceClient:
         """The daemon's fleet-aggregated metrics (``metrics`` verb)."""
         return self.request({"cmd": "metrics"})
 
+    def health(self) -> Dict[str, Any]:
+        """The daemon's degradation-ladder state, RSS and health
+        policy (``health`` verb)."""
+        return self.request({"cmd": "health"})
+
     def jobs(self, state: Optional[str] = None) -> list:
         message: Dict[str, Any] = {"cmd": "jobs"}
         if state:

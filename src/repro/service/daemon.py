@@ -332,6 +332,12 @@ class Daemon:
 
     async def _execute(self, job_id: str, worker: int) -> None:
         job = self.store.mark_running(job_id)
+        if job is None:
+            # The job left "queued" between the claim and now (a
+            # cancel raced the worker): drop the claim on the floor —
+            # the cancel already released the client's in-flight slot
+            # and any waiters.
+            return
         obs_events.emit("service.job_started",
                         msg=(f"job {job_id} started "
                              f"(attempt {job.attempts}, "
@@ -474,6 +480,8 @@ class Daemon:
                 workers=self.config.workers)
         elif cmd == "metrics":
             response = self._handle_metrics()
+        elif cmd == "health":
+            response = self._handle_health()
         elif cmd == "submit":
             return await self._handle_submit(request, writer)
         elif cmd == "jobs":
@@ -533,7 +541,27 @@ class Daemon:
             active=sorted(self._active),
             workers=self.config.workers,
             draining=self.draining,
+            health=self._health_snapshot(),
             pid=os.getpid())
+
+    def _health_snapshot(self) -> Dict[str, Any]:
+        """The daemon process's degradation-ladder state, RSS and
+        configured health policy — embedded in every ``metrics`` reply
+        (for ``repro top``'s panel) and served alone by ``health``."""
+        from repro.errors import HealthSpecError
+        from repro.health import HealthPolicy, get_ladder, rss_mb
+
+        try:
+            policy = HealthPolicy.from_env().to_payload()
+        except HealthSpecError:
+            policy = None
+        return {"ladder": get_ladder().snapshot(),
+                "rss_mb": rss_mb(),
+                "policy": policy}
+
+    def _handle_health(self) -> Dict[str, Any]:
+        return protocol.ok(health=self._health_snapshot(),
+                           draining=self.draining, pid=os.getpid())
 
     async def _handle_submit(self, request: Dict[str, Any],
                              writer: asyncio.StreamWriter) -> bool:

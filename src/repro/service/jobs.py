@@ -309,8 +309,16 @@ class JobStore:
         self._commit(job)
         return job, True
 
-    def mark_running(self, job_id: str) -> Job:
+    def mark_running(self, job_id: str) -> Optional[Job]:
+        """Move a claimed job to ``running``; returns None when the
+        job is no longer queued — e.g. it was cancelled between the
+        worker's claim and this call — in which case the claim must be
+        abandoned, never resurrected into a running state (that would
+        both run cancelled work and re-occupy the client's in-flight
+        cap the cancel just released)."""
         job = self.jobs[job_id]
+        if job.state != "queued":
+            return None
         job.state = "running"
         job.attempts += 1
         self._commit(job)

@@ -42,6 +42,12 @@ def run_sweep_job(payload: Dict[str, Any]) -> Dict[str, Any]:
     scale = (QUICK_SCALE if payload.get("scale", "quick") == "quick"
              else DEFAULT_SCALE)
     seeds = payload.get("seeds")
+    health = None
+    if payload.get("deadline") is not None:
+        from repro.health import HealthPolicy
+
+        health = HealthPolicy.from_env().with_deadline(
+            float(payload["deadline"]))
     study = run_study(
         spec,
         payload["benchmark"],
@@ -50,6 +56,7 @@ def run_sweep_job(payload: Dict[str, Any]) -> Dict[str, Any]:
         cache_dir=payload.get("cache_dir"),
         seeds=tuple(seeds) if seeds else None,
         verify=False,
+        health=health,
     )
     row = study.to_row()
     row["kind"] = "sweep"

@@ -80,6 +80,19 @@ def format_frame(response: Dict[str, Any],
         + " cache-hit-rate="
         + (f"{hit_rate * 100:.1f}%" if hit_rate is not None else "-")
         + f" evaluated={snapshot.get('counters', {}).get('dse.evaluated', 0)}")
+    health = response.get("health") or {}
+    ladder = health.get("ladder") or {}
+    degraded = sorted(name for name, entry in ladder.items()
+                      if entry.get("degraded"))
+    if ladder:
+        rss = health.get("rss_mb")
+        lines.append(
+            "health: "
+            + ("ALL RUNGS PRIMARY" if not degraded else
+               " ".join(f"{name}→{ladder[name].get('rung')}"
+                        for name in degraded))
+            + (f" rss={rss:.0f}MB" if isinstance(rss, (int, float))
+               else ""))
     phases = snapshot.get("phases", {})
     if phases:
         lines.append("")

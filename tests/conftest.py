@@ -20,6 +20,20 @@ from repro.workloads.behaviors import (
 from repro.workloads.generator import WorkloadConfig, generate_program
 
 
+@pytest.fixture(autouse=True)
+def _reset_health_state():
+    """The degradation ladder, canary clock and active budget are
+    process-level singletons; a breaker tripped by one test must never
+    leak degraded behavior into the next."""
+    yield
+    from repro.health import reset_canary, reset_ladder
+    from repro.health.budget import install_budget
+
+    install_budget(None)
+    reset_canary()
+    reset_ladder()
+
+
 def make_tiny_program(trip_count: int = 4) -> Program:
     """Two-block program: a loop body (block 0) iterated *trip_count*
     times per visit to the exit block (block 1).

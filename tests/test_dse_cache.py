@@ -82,3 +82,79 @@ class TestStore:
         assert plan is not None
         assert plan.cache_corrupt_rate == 1.0
         assert FaultPlan.from_env({}) is None
+
+
+class TestPhantomEntries:
+    """kill -9 between a writer's index update and its (re)written
+    object leaves the shard index pointing at nothing; the first read
+    that notices must de-index the ghost and sweep the dead writer's
+    orphaned tmp."""
+
+    def _key(self):
+        return result_key(PROFILE_HASH, "c" * 64, 0, 6.0)
+
+    def test_indexed_phantom_is_deindexed_on_read(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = self._key()
+        path = cache.put(key, METRICS)
+        assert len(cache) == 1
+        path.unlink()  # the kill-mid-evict interleave
+        fresh = ResultCache(tmp_path)
+        assert fresh.get(key) is None
+        assert fresh.stats.corrupt_discarded == 0  # a miss, not corruption
+        assert len(fresh) == 0
+
+    def test_live_writer_tmp_survives_the_sweep(self, tmp_path):
+        import os
+
+        cache = ResultCache(tmp_path)
+        key = self._key()
+        path = cache.put(key, METRICS)
+        path.unlink()
+        inflight = path.with_name(f"{path.name}.{os.getpid()}.0.tmp")
+        inflight.write_text("{}")  # our own pid: a live writer
+        assert ResultCache(tmp_path).get(key) is None
+        assert inflight.exists()
+
+    def test_kill_minus_9_mid_put_leaves_no_phantom(self, tmp_path):
+        """End to end: a subprocess is SIGKILLed exactly at the
+        ``os.replace`` of a re-put (index already carries the key from
+        an earlier put, the object is gone, the tmp is orphaned).  The
+        next reader sees one clean miss and a store that counts zero
+        entries."""
+        import os
+        import signal
+        import subprocess
+        import sys
+        import textwrap
+        from pathlib import Path
+
+        src = str(Path(__file__).resolve().parents[1] / "src")
+        key = self._key()
+        script = textwrap.dedent(f"""
+            import os, signal
+            from repro.dse.cache import ResultCache
+            import repro.runner.checkpoint as checkpoint
+
+            cache = ResultCache({str(tmp_path)!r})
+            key = {key!r}
+            path = cache.put(key, {METRICS!r})
+            path.unlink()  # the eviction half of the interleave
+            # Die at the atomic-rename instant of the re-put: tmp
+            # written, object never lands, finally never runs.
+            checkpoint.os.replace = \\
+                lambda a, b: os.kill(os.getpid(), signal.SIGKILL)
+            cache.put(key, {METRICS!r})
+        """)
+        env = dict(os.environ, PYTHONPATH=src)
+        proc = subprocess.run([sys.executable, "-c", script], env=env,
+                              capture_output=True, text=True)
+        assert proc.returncode == -signal.SIGKILL, proc.stderr
+        orphans = list(tmp_path.rglob("*.tmp"))
+        assert orphans, "the kill must strand the writer's tmp"
+        cache = ResultCache(tmp_path)
+        assert len(cache) == 1  # the ghost, before anyone reads
+        assert cache.get(key) is None
+        assert cache.stats.corrupt_discarded == 0
+        assert list(tmp_path.rglob("*.tmp")) == []  # debris swept
+        assert len(cache) == 0

@@ -220,6 +220,34 @@ class TestCancel:
         finished = store.mark_done(job.job_id, {"ok": 1})
         assert finished.state == "cancelled"
 
+    def test_cancel_queued_releases_inflight_cap(self, tmp_path):
+        """A cancelled queued job must stop counting against its
+        client's in-flight cap immediately — not only once a worker
+        dequeues the corpse — or a submit/cancel loop wedges the
+        client out of the service."""
+        store = store_at(tmp_path)
+        job, _ = store.submit(PAYLOAD, "a")
+        assert store.client_inflight("a") == 1
+        store.cancel(job.job_id)
+        assert store.client_inflight("a") == 0
+
+    def test_mark_running_after_cancel_is_refused(self, tmp_path):
+        """The dispatch race: the daemon claims a job, the client
+        cancels it before _execute runs.  mark_running must refuse the
+        stale claim (return None) and leave the job cancelled."""
+        store = store_at(tmp_path)
+        job, _ = store.submit(PAYLOAD, "a")
+        store.cancel(job.job_id)
+        assert store.mark_running(job.job_id) is None
+        assert store.get(job.job_id).state == "cancelled"
+
+    def test_mark_running_returns_job_when_queued(self, tmp_path):
+        store = store_at(tmp_path)
+        job, _ = store.submit(PAYLOAD, "a")
+        claimed = store.mark_running(job.job_id)
+        assert claimed is job
+        assert claimed.state == "running"
+
     def test_cancel_unknown_or_terminal(self, tmp_path):
         store = store_at(tmp_path)
         assert store.cancel("nope") is None

@@ -216,3 +216,82 @@ class TestVectorSweepHygiene:
         assert result.total_tasks == 4
         leftovers = _shm_names() - before
         assert not leftovers, leftovers
+
+
+class TestInterruptedVectorSweepHygiene:
+    """SIGTERM and Ctrl-C mid-sweep must leave nothing behind: no shm
+    segment, no repro-leases-* temp directory — and must still hand the
+    caller a partial report instead of a bare traceback."""
+
+    def _interrupted_sweep(self, small_trace, config, monkeypatch,
+                           interrupt):
+        import tempfile
+
+        from repro.dse.engine import SweepEngine
+        from repro.dse.space import DesignPoint
+        from repro.dse.supervisor import PoolSupervisor
+
+        shm_before = _shm_names()
+        tmp = Path(tempfile.gettempdir())
+        leases_before = set(tmp.glob("repro-leases-*"))
+
+        real_run = PoolSupervisor.run
+
+        def run_then_die(self, tasks):
+            outcomes = real_run(self, tasks)
+            interrupt(outcomes)
+            return outcomes
+
+        monkeypatch.setattr(PoolSupervisor, "run", run_then_die)
+        profile = profile_trace(small_trace, config, order=1)
+        points = [DesignPoint(config=config.with_width(w),
+                              params=(("width", w),))
+                  for w in (2, 4)]
+        engine = SweepEngine(profile, jobs=2, vector=True)
+        result = engine.evaluate(points, seeds=(0,),
+                                 reduction_factor=4.0)
+
+        assert result.interrupted
+        assert "INTERRUPTED" in result.summary()
+        leftovers = _shm_names() - shm_before
+        assert not leftovers, leftovers
+        stale = set(tmp.glob("repro-leases-*")) - leases_before
+        assert not stale, stale
+        return result
+
+    def test_sigterm_mid_sweep_cleans_up_and_reports_partial(
+            self, small_trace, config, monkeypatch):
+        def interrupt(outcomes):
+            # Delivered synchronously to this (main) thread; the
+            # engine's vector-path handler converts it into the
+            # KeyboardInterrupt unwind.
+            signal.raise_signal(signal.SIGTERM)
+
+        result = self._interrupted_sweep(small_trace, config,
+                                         monkeypatch, interrupt)
+        # The report stays honest about what ran before the signal.
+        assert result.evaluated + result.unstarted == 2
+
+    def test_keyboard_interrupt_mid_sweep_cleans_up(
+            self, small_trace, config, monkeypatch):
+        from repro.errors import SweepInterrupted
+
+        def interrupt(outcomes):
+            raise SweepInterrupted(outcomes)
+
+        result = self._interrupted_sweep(small_trace, config,
+                                         monkeypatch, interrupt)
+        assert result.evaluated == 2
+
+    def test_sigterm_handler_restored_after_sweep(self, small_trace,
+                                                  config):
+        from repro.dse.engine import SweepEngine
+        from repro.dse.space import DesignPoint
+
+        previous = signal.getsignal(signal.SIGTERM)
+        profile = profile_trace(small_trace, config, order=1)
+        points = [DesignPoint(config=config.with_width(2),
+                              params=(("width", 2),))]
+        SweepEngine(profile, jobs=2, vector=True).evaluate(
+            points, seeds=(0,), reduction_factor=4.0)
+        assert signal.getsignal(signal.SIGTERM) is previous
